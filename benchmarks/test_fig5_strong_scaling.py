@@ -1,0 +1,116 @@
+"""Figure 5 — strong scaling of snapshot partitioning (paper §6.3).
+
+For every dataset × model pair and P = 1…128 (GD transfer on), reports
+the execution-time breakdown (transfer / compute / comm) plus the
+per-model speedup summary, using the paper's convention: the reference
+point is the smallest P that ran, assigned speedup P.
+
+Shape checks:
+* compute time scales down near-linearly with P;
+* for TM-GCN and CD-GCN communication becomes the bottleneck at large P,
+  with the node-boundary dip at P=16 (8 GPUs per node);
+* EvolveGCN (communication-free) scales best;
+* best-case speedup lands in the paper's ~30x-at-128 regime.
+"""
+
+from repro.bench import (DATASET_NAMES, GPU_COUNTS, MODEL_LABELS,
+                         cached_point, render_table, speedup_series,
+                         write_report)
+from repro.models import MODEL_NAMES
+
+
+def _collect(model):
+    per_dataset = {}
+    for dataset in DATASET_NAMES:
+        per_dataset[dataset] = {
+            p: cached_point(dataset, model, p, use_gd=True)
+            for p in GPU_COUNTS}
+    return per_dataset
+
+
+def test_fig5_strong_scaling(benchmark):
+    all_results = {model: _collect(model) for model in MODEL_NAMES}
+    benchmark.pedantic(
+        lambda: cached_point.__wrapped__("youtube", "cdgcn", 8, True),
+        rounds=1, iterations=1)
+
+    rows = []
+    summary_rows = []
+    for model in MODEL_NAMES:
+        for dataset in DATASET_NAMES:
+            results = all_results[model][dataset]
+            times = {p: (r.total_ms if r else None)
+                     for p, r in results.items()}
+            speedups = speedup_series(times)
+            for p in GPU_COUNTS:
+                r = results[p]
+                if r is None:
+                    rows.append((MODEL_LABELS[model], dataset, p,
+                                 None, None, None, None, None))
+                    continue
+                ms = r.breakdown.as_millis()
+                rows.append((MODEL_LABELS[model], dataset, p,
+                             round(ms["transfer_ms"], 1),
+                             round(ms["compute_ms"], 1),
+                             round(ms["comm_ms"], 1),
+                             round(ms["total_ms"], 1),
+                             round(speedups.get(p, float("nan")), 1)))
+            summary_rows.append(
+                (MODEL_LABELS[model], dataset,
+                 round(max(speedups.values()), 1)))
+
+    table = render_table(
+        ["model", "dataset", "P", "transfer ms", "compute ms", "comm ms",
+         "total ms", "speedup"],
+        rows, title="Figure 5: strong scaling (GD transfer enabled)")
+    summary = render_table(["model", "dataset", "best speedup"],
+                           summary_rows,
+                           title="Figure 5 summary: speedup at scale")
+    write_report("fig5_strong_scaling", table + "\n\n" + summary)
+
+    best_speedup_overall = 0.0
+    for model in MODEL_NAMES:
+        for dataset in DATASET_NAMES:
+            results = all_results[model][dataset]
+            ran = {p: r for p, r in results.items() if r is not None}
+            ps = sorted(ran)
+            if model in ("tmgcn", "cdgcn"):
+                # compute scales near-linearly: quadrupling P at least
+                # ~halves compute time (EvolveGCN is excluded — its
+                # weight LSTM is replicated on every rank, a constant
+                # compute floor, §5.5)
+                for a, b in zip(ps, ps[2:]):
+                    assert ran[b].breakdown.compute < \
+                        ran[a].breakdown.compute * 0.7, \
+                        (model, dataset, a, b)
+            else:
+                # EvolveGCN: total time strictly improves with scale
+                assert ran[max(ps)].total_ms < ran[min(ps)].total_ms
+            times = {p: r.total_ms for p, r in ran.items()}
+            speedups = speedup_series(times)
+            best_speedup_overall = max(best_speedup_overall,
+                                       max(speedups.values()))
+            if model in ("tmgcn", "cdgcn") and 8 in ran and 16 in ran:
+                # node-boundary dip: scaling efficiency drops at P=16
+                eff8 = speedups[8] / 8
+                eff16 = speedups[16] / 16
+                assert eff16 < eff8, (model, dataset)
+                # comm dominates compute at scale
+                big = max(ran)
+                assert ran[big].breakdown.comm > \
+                    ran[big].breakdown.compute, (model, dataset)
+
+    # paper: up to 30x on 128 GPUs
+    assert best_speedup_overall > 20.0, best_speedup_overall
+
+    # EvolveGCN scales at least as well as the communicating models
+    def best_for(model):
+        vals = []
+        for dataset in DATASET_NAMES:
+            times = {p: (r.total_ms if r else None)
+                     for p, r in all_results[model][dataset].items()}
+            vals.append(max(speedup_series(times).values()))
+        return max(vals)
+
+    assert best_for("egcn") >= best_for("tmgcn")
+    assert best_for("egcn") >= best_for("cdgcn")

@@ -1,0 +1,77 @@
+"""Anti-money-laundering detection on a simulated transaction graph.
+
+The paper's motivating AML-Sim workload end to end:
+
+1. simulate a bank's transaction stream with planted laundering
+   typologies (fan-in, fan-out, cycles, scatter-gather),
+2. attach per-timestep in/out-degree features,
+3. train CD-GCN — its per-vertex LSTM carries each account's degree
+   bursts through time — to classify accounts as suspicious vs normal,
+4. report detection quality against the simulator's ground truth.
+
+Run:  python examples/aml_fraud_detection.py
+"""
+
+import numpy as np
+
+from repro.graph import AMLSimConfig, generate_amlsim
+from repro.models import build_model
+from repro.tensor import Adam, Tensor, no_grad
+from repro.train import (NodeClassificationTask,
+                         compute_laplacians, degree_features)
+
+
+def main() -> None:
+    # 1. simulate 10 weeks of transactions among 300 accounts
+    config = AMLSimConfig(
+        num_accounts=300, num_timesteps=10, background_per_step=500,
+        partner_persistence=0.8, num_fan_out=5, num_fan_in=5,
+        num_cycles=3, num_scatter_gather=3, pattern_size=12, seed=42)
+    sim = generate_amlsim(config)
+    labels = sim.account_labels()
+    print(f"simulated {sim.dtdg.total_nnz} transactions, "
+          f"{int(labels.sum())} of {len(labels)} accounts launder money")
+
+    # 2. degree features on the raw transaction snapshots (CD-GCN
+    #    trains on unsmoothed graphs, paper §5.1)
+    dtdg = sim.dtdg
+    dtdg.set_features(degree_features(dtdg))
+    laplacians = compute_laplacians(dtdg)
+    frames = [Tensor(f) for f in dtdg.features]
+
+    # 3. CD-GCN + account classification at every timestep
+    model = build_model("cdgcn", in_features=2, hidden=12, embed_dim=12,
+                        seed=0)
+    task = NodeClassificationTask(labels, dtdg.num_timesteps,
+                                  embed_dim=12, num_classes=2, seed=0)
+    optimizer = Adam(model.parameters() + task.head.parameters(), lr=0.03)
+
+    for epoch in range(80):
+        optimizer.zero_grad()
+        embeddings = model(laplacians, frames)
+        loss = task.loss_full(embeddings)
+        loss.backward()
+        optimizer.step()
+        if epoch % 20 == 0 or epoch == 79:
+            print(f"epoch {epoch:2d}  loss {loss.item():.4f}  "
+                  f"accuracy {task.accuracy(embeddings):.1%}")
+
+    # 4. detection quality on the final timestep's embedding
+    with no_grad():
+        embeddings = model(laplacians, frames)
+        scores = task.head(embeddings[-1]).data
+    predicted = scores.argmax(axis=1)
+    tp = int(((predicted == 1) & (labels == 1)).sum())
+    fp = int(((predicted == 1) & (labels == 0)).sum())
+    fn = int(((predicted == 0) & (labels == 1)).sum())
+    precision = tp / (tp + fp) if tp + fp else float("nan")
+    recall = tp / (tp + fn) if tp + fn else float("nan")
+    print(f"suspicious-account detection: precision {precision:.1%}, "
+          f"recall {recall:.1%}")
+    baseline = max(labels.mean(), 1 - labels.mean())
+    final_acc = float((predicted == labels).mean())
+    print(f"accuracy {final_acc:.1%} vs majority baseline {baseline:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Distributed training on the simulated multi-node multi-GPU cluster.
+
+Demonstrates the paper's §4 machinery on one workload:
+
+1. build a calibrated stand-in of the paper's youtube dataset and
+   smooth it for TM-GCN,
+2. train the same model under snapshot partitioning at several cluster
+   sizes, with and without graph-difference transfer,
+3. compare against the hypergraph vertex-partitioning baseline,
+4. print a per-configuration breakdown (transfer / compute / comm) from
+   the simulated clocks plus the redistribution volumes.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+from repro.bench import PointSpec, bench_dtdg, calibrated_overrides, run_point
+
+
+def run(dtdg, partitioning, num_ranks, use_gd):
+    overrides = tuple(sorted(calibrated_overrides(
+        "youtube", "tmgcn", memory_headroom=2.0).items()))
+    # run_point also applies the paper's nb tuning (§3.1): block count
+    # capped at T/P so every rank owns timesteps in every block
+    return run_point(dtdg, PointSpec(
+        model="tmgcn", num_ranks=num_ranks, use_gd=use_gd,
+        num_blocks=4, partitioning=partitioning,
+        spec_overrides=overrides, seed=0))
+
+
+def main() -> None:
+    dtdg = bench_dtdg("youtube", "tmgcn")
+    print(f"workload: {dtdg}")
+    print(f"{'scheme':>12} {'P':>4} {'GD':>3} | {'transfer':>9} "
+          f"{'compute':>8} {'comm':>8} {'total':>8} | {'volume':>10}")
+
+    for p in (1, 8, 32, 128):
+        for use_gd in (False, True):
+            r = run(dtdg, "snapshot", p, use_gd)
+            ms = r.breakdown.as_millis()
+            print(f"{'snapshot':>12} {p:>4} {'on' if use_gd else 'off':>3}"
+                  f" | {ms['transfer_ms']:>7.0f}ms {ms['compute_ms']:>6.0f}ms"
+                  f" {ms['comm_ms']:>6.0f}ms {ms['total_ms']:>6.0f}ms"
+                  f" | {r.comm_volume_units:>8.0f} fl")
+
+    for p in (8, 32):
+        r = run(dtdg, "vertex", p, False)
+        ms = r.breakdown.as_millis()
+        print(f"{'hypergraph':>12} {p:>4} {'off':>3}"
+              f" | {ms['transfer_ms']:>7.0f}ms {ms['compute_ms']:>6.0f}ms"
+              f" {ms['comm_ms']:>6.0f}ms {ms['total_ms']:>6.0f}ms"
+              f" | {r.comm_volume_units:>8.0f} fl")
+
+    print("\nTakeaways (paper §6): graph-difference cuts the transfer "
+          "component;\nsnapshot partitioning's volume stays fixed as P "
+          "grows while the\nhypergraph baseline pays irregular-exchange "
+          "overheads on top of a\nvolume that grows with P.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Benchmark workload construction.
+
+Every experiment runs the calibrated synthetic stand-ins of the paper's
+datasets (Table 1) at a bench-friendly scale, smoothed per model exactly
+as §5.4 prescribes (M-product for TM-GCN, edge-life for EvolveGCN, raw
+for CD-GCN), with the paper's in/out-degree features attached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cluster.config import GIB, ClusterSpec
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.dtdg import DTDG
+from repro.train.preprocess import degree_features, smooth_for_model
+
+__all__ = ["GPU_COUNTS", "DATASET_NAMES", "MODEL_LABELS", "bench_dtdg",
+           "raw_bench_dtdg", "BENCH_SCALE", "hardware_scale",
+           "calibrated_overrides"]
+
+# the paper's strong-scaling sweep: P = 1 … 128, node boundary at 8
+GPU_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+DATASET_NAMES = ("epinions", "flickr", "youtube", "amlsim")
+MODEL_LABELS = {"tmgcn": "TM-GCN", "cdgcn": "CD-GCN", "egcn": "EvolveGCN"}
+
+# (vertex scale, timeline scale) per dataset — sized so a full sweep of
+# the figure benches completes in minutes while keeping the paper's
+# relative dataset sizes and temporal overlap.  Timelines are kept at
+# ≈130 snapshots so the strong-scaling sweep up to P=128 never leaves
+# ranks idle (the paper's datasets satisfy T ≥ P as well).
+BENCH_SCALE = {
+    "epinions": (3.0e-4, 0.26),
+    "flickr": (1.0e-4, 0.97),
+    "youtube": (0.8e-4, 0.64),
+    "amlsim": (2.2e-4, 0.65),
+}
+
+# Wide smoothing windows, as the paper's Table 1 implies (the smoothed
+# graphs are 6-80x denser than the raw ones): they drive the
+# consecutive-snapshot overlap of the smoothed models toward ~97%, which
+# is where the 4x-class graph-difference gains live (§6.2).
+SMOOTH_WINDOW = 48
+EDGE_LIFE = 48
+
+
+@lru_cache(maxsize=None)
+def raw_bench_dtdg(dataset: str, seed: int = 0) -> DTDG:
+    """Unsmoothed calibrated dataset at bench scale (cached)."""
+    scale, t_scale = BENCH_SCALE[dataset]
+    return load_dataset(dataset, scale=scale, t_scale=t_scale, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def bench_dtdg(dataset: str, model: str, seed: int = 0) -> DTDG:
+    """Model-ready workload: smoothed per §5.4 + degree features (cached).
+
+    The features are computed on the *raw* graph (degrees of actual
+    interactions) and attached to the smoothed snapshots, except for
+    TM-GCN whose preprocessing also M-transforms the feature tensor.
+    """
+    raw = raw_bench_dtdg(dataset, seed)
+    raw_features = degree_features(raw)
+    if raw.features is None:
+        raw.set_features(raw_features)
+    smoothed = smooth_for_model(raw, model, edge_life=EDGE_LIFE,
+                                window=SMOOTH_WINDOW)
+    if smoothed is raw:
+        return raw
+    if smoothed.features is None:
+        smoothed.set_features(raw_features)
+    return smoothed
+
+
+def hardware_scale(dataset: str, model: str,
+                   seed: int = 0) -> tuple[float, float]:
+    """Substitution rates of the bench workload vs. the paper's.
+
+    Returns ``(edge_factor, feature_factor)``:
+
+    * ``edge_factor`` — bench nnz / paper (per-model smoothed) nnz; each
+      synthetic edge stands for ``1/edge_factor`` real edges.  Governs
+      kernel FLOP rates, CPU→GPU bandwidth and GPU memory.
+    * ``feature_factor`` — bench ``N·T`` / paper ``N·T``; each feature
+      row stands for ``1/feature_factor`` real rows.  Governs the
+      inter-GPU link bandwidths, because redistribution volume is
+      ``O(T·N)`` feature vectors (§4.2).
+
+    Dividing each hardware *rate* by its factor puts the simulated clock
+    in the paper's billion-edge regime: compute and byte terms dominate
+    and per-message latencies stay second-order, so the reproduced
+    curves compare like-for-like shapes.
+    """
+    spec = DATASETS[dataset]
+    if model == "tmgcn":
+        paper_nnz = spec.paper_nnz_mproduct
+    elif model in ("egcn", "evolvegcn"):
+        paper_nnz = spec.paper_nnz_edgelife
+    else:
+        paper_nnz = spec.paper_nnz
+    bench = bench_dtdg(dataset, model, seed)
+    edge_factor = bench.total_nnz / paper_nnz
+    feature_factor = (bench.num_vertices * bench.num_timesteps) / \
+        (spec.paper_vertices * spec.paper_timesteps)
+    return edge_factor, feature_factor
+
+
+def calibrated_overrides(dataset: str, model: str, seed: int = 0,
+                         memory_headroom: float = 1.0) -> dict:
+    """ClusterSpec overrides scaled to the bench workload (see
+    :func:`hardware_scale`); GPU memory scales too, so the paper's OOM
+    behaviour at small P reappears at bench scale."""
+    edge_factor, feature_factor = hardware_scale(dataset, model, seed)
+    base = ClusterSpec()
+    return dict(
+        dense_flops=base.dense_flops * edge_factor,
+        sparse_flops=base.sparse_flops * edge_factor,
+        h2d_bandwidth=base.h2d_bandwidth * edge_factor,
+        intra_bandwidth=base.intra_bandwidth * feature_factor,
+        inter_bandwidth=base.inter_bandwidth * feature_factor,
+        gpu_memory_bytes=max(int(32 * GIB * edge_factor * memory_headroom),
+                             1024),
+    )

@@ -1,0 +1,23 @@
+"""Simulated multi-node multi-GPU system.
+
+Substitutes the paper's AiMOS testbed (16 nodes × 8 V100, EDR IB):
+devices with hard memory capacity and OOM, pinned-memory CPU→GPU
+transfer modeling, and bulk-synchronous collectives over a two-level
+(intra-node / shared-NIC inter-node) link model.
+"""
+
+from repro.cluster.config import ClusterSpec, GIB
+from repro.cluster.clock import RankClock, TimeBreakdown, max_breakdown
+from repro.cluster.device import Allocation, Device
+from repro.cluster.transfer import TransferEngine, TransferStats
+from repro.cluster.comm import CommEvent, Communicator
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "ClusterSpec", "GIB",
+    "RankClock", "TimeBreakdown", "max_breakdown",
+    "Device", "Allocation",
+    "TransferEngine", "TransferStats",
+    "Communicator", "CommEvent",
+    "Cluster",
+]

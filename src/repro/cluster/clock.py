@@ -1,0 +1,96 @@
+"""Simulated time accounting.
+
+Every rank owns a :class:`RankClock` that accumulates modeled seconds in
+the three buckets the paper's figures break execution into:
+
+* ``transfer`` — CPU→GPU snapshot/feature movement (Fig. 4),
+* ``compute``  — GCN/RNN kernels,
+* ``comm``     — inter-GPU collectives (Fig. 5).
+
+The cluster runs bulk-synchronously: after each collective the
+participating clocks synchronize to the slowest rank, charging the wait
+to the bucket of the operation that caused it — exactly how per-epoch
+wall-clock is attributed on a real synchronous data-parallel run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["TimeBreakdown", "RankClock", "max_breakdown"]
+
+BUCKETS = ("transfer", "compute", "comm")
+
+
+@dataclass
+class TimeBreakdown:
+    """Seconds spent per bucket; the unit the benchmarks report."""
+
+    transfer: float = 0.0
+    compute: float = 0.0
+    comm: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.transfer + self.compute + self.comm
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(self.transfer + other.transfer,
+                             self.compute + other.compute,
+                             self.comm + other.comm)
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown(self.transfer * factor, self.compute * factor,
+                             self.comm * factor)
+
+    def as_millis(self) -> dict[str, float]:
+        return {"transfer_ms": self.transfer * 1e3,
+                "compute_ms": self.compute * 1e3,
+                "comm_ms": self.comm * 1e3,
+                "total_ms": self.total * 1e3}
+
+
+@dataclass
+class RankClock:
+    """Per-rank simulated clock with bucket attribution."""
+
+    rank: int
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+    @property
+    def now(self) -> float:
+        return self.breakdown.total
+
+    def advance(self, bucket: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}s")
+        if bucket not in BUCKETS:
+            raise ValueError(f"unknown bucket {bucket!r}; "
+                             f"expected one of {BUCKETS}")
+        setattr(self.breakdown, bucket,
+                getattr(self.breakdown, bucket) + seconds)
+
+    def wait_until(self, t: float, bucket: str) -> None:
+        """Stall this rank until simulated time ``t`` (barrier wait)."""
+        if t > self.now:
+            self.advance(bucket, t - self.now)
+
+    def reset(self) -> None:
+        self.breakdown = TimeBreakdown()
+
+
+def max_breakdown(clocks: Iterable[RankClock]) -> TimeBreakdown:
+    """Critical-path breakdown: the slowest rank's buckets.
+
+    Under bulk-synchronous execution all ranks finish an epoch at (close
+    to) the same simulated instant, so reporting the slowest rank matches
+    the paper's per-epoch measurements.
+    """
+    clocks = list(clocks)
+    if not clocks:
+        return TimeBreakdown()
+    slowest = max(clocks, key=lambda c: c.now)
+    return TimeBreakdown(slowest.breakdown.transfer,
+                         slowest.breakdown.compute,
+                         slowest.breakdown.comm)

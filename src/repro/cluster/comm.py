@@ -1,0 +1,209 @@
+"""Bulk-synchronous collectives over the simulated link model.
+
+All ranks live in one Python process, so a collective is a function over
+*lists indexed by rank*.  Timing follows the paper's §6.3 analysis:
+
+* intra-node traffic rides the node's GPU↔GPU links;
+* traffic crossing nodes is serialized through the node's NIC, which all
+  ``gpus_per_node`` ranks share — this is what produces the speedup dip
+  when P first crosses the node boundary (P=8→16 on the paper's system)
+  and the gradual recovery as the number of NICs grows with K.
+
+After every collective the participants synchronize to the slowest rank
+(charged to ``comm``), matching synchronous data-parallel training.
+
+Volume accounting: every event records its payload bytes and a label so
+the Table-2 benchmark can report redistribution volume separately from
+(insignificant) gradient aggregation, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.clock import RankClock
+from repro.cluster.config import ClusterSpec
+from repro.errors import CommunicationError
+
+__all__ = ["Communicator", "CommEvent"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One logged collective: payload bytes exclude self-communication."""
+
+    op: str
+    label: str
+    payload_bytes: int
+    seconds: float
+
+
+class Communicator:
+    """Collectives for ``num_ranks`` ranks laid out per ``spec``."""
+
+    def __init__(self, spec: ClusterSpec, clocks: list[RankClock]) -> None:
+        if not clocks:
+            raise CommunicationError("communicator needs at least one rank")
+        if len(clocks) > spec.total_gpus:
+            raise CommunicationError(
+                f"{len(clocks)} ranks exceed cluster capacity "
+                f"{spec.total_gpus}")
+        self.spec = spec
+        self.clocks = clocks
+        self.num_ranks = len(clocks)
+        self.events: list[CommEvent] = []
+
+    # -- helpers -----------------------------------------------------------------------
+    def _barrier(self) -> None:
+        latest = max(c.now for c in self.clocks)
+        for c in self.clocks:
+            c.wait_until(latest, "comm")
+
+    def volume_bytes(self, label: str | None = None) -> int:
+        return sum(e.payload_bytes for e in self.events
+                   if label is None or e.label == label)
+
+    def volume_units(self, label: str | None = None,
+                     unit_bytes: int = 4) -> float:
+        """Volume in feature-vector *units* (floats by default), the
+        quantity Table 2 reports in billions."""
+        return self.volume_bytes(label) / unit_bytes
+
+    # -- all-to-all ---------------------------------------------------------------------
+    def all_to_all_bytes(self, payload: np.ndarray,
+                         label: str = "redistribution") -> float:
+        """Charge an all-to-all with byte matrix ``payload[src, dst]``.
+
+        Returns the modeled wall-clock of the collective (slowest rank).
+        """
+        p = self.num_ranks
+        payload = np.asarray(payload, dtype=np.float64)
+        if payload.shape != (p, p):
+            raise CommunicationError(
+                f"payload matrix shape {payload.shape} != ({p}, {p})")
+        spec = self.spec
+        off_diag = payload.copy()
+        np.fill_diagonal(off_diag, 0.0)
+
+        nodes = [spec.node_of(r) for r in range(p)]
+        num_nodes = max(nodes) + 1
+        intra_out = np.zeros(p)
+        intra_in = np.zeros(p)
+        intra_msgs = np.zeros(p)
+        inter_msgs = np.zeros(p)
+        nic_out = np.zeros(num_nodes)
+        nic_in = np.zeros(num_nodes)
+        for src in range(p):
+            for dst in range(p):
+                b = off_diag[src, dst]
+                if src == dst or b == 0.0:
+                    continue
+                if nodes[src] == nodes[dst]:
+                    intra_out[src] += b
+                    intra_in[dst] += b
+                    intra_msgs[src] += 1
+                else:
+                    nic_out[nodes[src]] += b
+                    nic_in[nodes[dst]] += b
+                    inter_msgs[src] += 1
+
+        # Bytes serialize through the links (shared NIC per node for
+        # inter-node traffic); per-message setup overhead is paid by the
+        # issuing rank and overlaps across ranks, not the NIC — real
+        # collectives pipeline messages.
+        seconds = np.zeros(p)
+        for r in range(p):
+            t_intra = (max(intra_out[r], intra_in[r]) / spec.intra_bandwidth
+                       + intra_msgs[r] * spec.intra_latency)
+            node = nodes[r]
+            t_nic = (max(nic_out[node], nic_in[node]) / spec.inter_bandwidth
+                     + inter_msgs[r] * spec.inter_latency)
+            seconds[r] = t_intra + t_nic
+            self.clocks[r].advance("comm", seconds[r])
+        self._barrier()
+
+        total_bytes = int(off_diag.sum())
+        wall = float(seconds.max())
+        self.events.append(CommEvent("all_to_all", label, total_bytes, wall))
+        return wall
+
+    def all_to_all(self, buffers: list[list[np.ndarray]],
+                   label: str = "redistribution"
+                   ) -> list[list[np.ndarray]]:
+        """Exchange actual arrays: ``buffers[src][dst]`` → result[dst][src].
+
+        The data really moves (the receiving side gets the sender's
+        arrays), so downstream computation is numerically faithful, and
+        the byte matrix is derived from the true array sizes.
+        """
+        p = self.num_ranks
+        if len(buffers) != p or any(len(row) != p for row in buffers):
+            raise CommunicationError(
+                f"buffers must be a {p}×{p} nested list")
+        payload = np.zeros((p, p))
+        for src in range(p):
+            for dst in range(p):
+                arr = buffers[src][dst]
+                if arr is not None:
+                    payload[src, dst] = arr.nbytes
+        self.all_to_all_bytes(payload, label=label)
+        return [[buffers[src][dst] for src in range(p)] for dst in range(p)]
+
+    # -- all-reduce ---------------------------------------------------------------------
+    def all_reduce_sum(self, arrays: list[np.ndarray],
+                       label: str = "gradient") -> np.ndarray:
+        """Ring all-reduce of per-rank arrays; every rank gets the sum."""
+        p = self.num_ranks
+        if len(arrays) != p:
+            raise CommunicationError(
+                f"{len(arrays)} buffers for {p} ranks")
+        shape = arrays[0].shape
+        for a in arrays:
+            if a.shape != shape:
+                raise CommunicationError("all_reduce buffers must match")
+        total = np.sum(np.stack([np.asarray(a, dtype=np.float64)
+                                 for a in arrays]), axis=0)
+        nbytes = arrays[0].nbytes
+        spec = self.spec
+        if p > 1:
+            multi_node = spec.node_of(p - 1) != spec.node_of(0)
+            bw = spec.inter_bandwidth if multi_node else spec.intra_bandwidth
+            lat = spec.inter_latency if multi_node else spec.intra_latency
+            seconds = 2.0 * (p - 1) / p * nbytes / bw + 2 * (p - 1) * lat
+        else:
+            seconds = 0.0
+        for c in self.clocks:
+            c.advance("comm", seconds)
+        self._barrier()
+        # ring all-reduce moves 2(p-1)/p of the buffer per rank
+        moved = int(2 * (p - 1) / p * nbytes * p) if p > 1 else 0
+        self.events.append(CommEvent("all_reduce", label, moved, seconds))
+        return total
+
+    def broadcast(self, array: np.ndarray, root: int = 0,
+                  label: str = "broadcast") -> list[np.ndarray]:
+        """Root sends its array to every rank (tree broadcast model)."""
+        p = self.num_ranks
+        if not 0 <= root < p:
+            raise CommunicationError(f"root {root} out of range")
+        nbytes = array.nbytes
+        spec = self.spec
+        if p > 1:
+            multi_node = spec.node_of(p - 1) != spec.node_of(0)
+            bw = spec.inter_bandwidth if multi_node else spec.intra_bandwidth
+            lat = spec.inter_latency if multi_node else spec.intra_latency
+            hops = int(np.ceil(np.log2(p)))
+            seconds = hops * (nbytes / bw + lat)
+        else:
+            seconds = 0.0
+        for c in self.clocks:
+            c.advance("comm", seconds)
+        self._barrier()
+        self.events.append(
+            CommEvent("broadcast", label, nbytes * (p - 1), seconds))
+        return [array.copy() for _ in range(p)]
+
+    def reset(self) -> None:
+        self.events.clear()

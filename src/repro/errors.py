@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class GradientError(ReproError):
+    """Backward pass invoked in an invalid state (e.g. no grad graph)."""
+
+
+class DeviceOOM(ReproError):
+    """A simulated device ran out of memory.
+
+    Mirrors CUDA's out-of-memory error: raised when an allocation would push
+    a :class:`repro.cluster.device.Device` beyond its configured capacity.
+    """
+
+    def __init__(self, message: str, requested: int = 0, capacity: int = 0,
+                 in_use: int = 0) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.capacity = capacity
+        self.in_use = in_use
+
+
+class CommunicationError(ReproError):
+    """Collective communication invoked with mismatched participants."""
+
+
+class PartitionError(ReproError):
+    """A partitioner was given an infeasible problem (e.g. P > T)."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""
+
+
+class DatasetError(ReproError):
+    """Dataset construction or validation failure."""

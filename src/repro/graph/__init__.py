@@ -1,0 +1,25 @@
+"""Dynamic-graph substrate: snapshots, DTDGs, Laplacians, the
+graph-difference encoding, generators and calibrated datasets."""
+
+from repro.graph.snapshot import GraphSnapshot, canonical_edges
+from repro.graph.dtdg import DTDG, DTDGStats
+from repro.graph.laplacian import laplacian_from_adjacency, normalized_laplacian
+from repro.graph.diff import (DiffDecoder, SnapshotDiff, apply_diff,
+                              diff_snapshots, encode_sequence,
+                              sequence_transfer_stats)
+from repro.graph.generators import evolving_dtdg, random_dtdg, sample_edges
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.amlsim import AMLSimConfig, AMLSimResult, generate_amlsim
+from repro.graph.io import load_dtdg, save_dtdg
+
+__all__ = [
+    "GraphSnapshot", "canonical_edges",
+    "DTDG", "DTDGStats",
+    "normalized_laplacian", "laplacian_from_adjacency",
+    "SnapshotDiff", "diff_snapshots", "apply_diff", "encode_sequence",
+    "DiffDecoder", "sequence_transfer_stats",
+    "random_dtdg", "evolving_dtdg", "sample_edges",
+    "DATASETS", "DatasetSpec", "load_dataset",
+    "AMLSimConfig", "AMLSimResult", "generate_amlsim",
+    "save_dtdg", "load_dtdg",
+]

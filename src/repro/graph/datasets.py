@@ -1,0 +1,128 @@
+"""Calibrated synthetic stand-ins for the paper's benchmark datasets.
+
+The paper (Table 1) evaluates on epinions, flickr and youtube from the
+Network Data Repository plus an AMLSim-generated graph.  Those raw files
+are not available offline, so each dataset is replaced by a synthetic
+DTDG *calibrated to the paper's published statistics*: vertex count,
+timestep count, total nnz, degree skew, and — the property the
+graph-difference study actually depends on — the topology overlap
+between consecutive snapshots.
+
+A ``scale`` parameter shrinks ``N`` and per-snapshot nnz proportionally
+(the simulator executes real numerics, so billion-edge absolute sizes are
+out of reach on one machine); a ``t_scale`` shrinks the timeline.  All
+the paper's *ratios* (density, overlap, relative dataset sizes) are
+preserved, which is what the reproduced experiment shapes rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.amlsim import AMLSimConfig, generate_amlsim
+from repro.graph.dtdg import DTDG
+from repro.graph.generators import evolving_dtdg
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "paper_table1_rows"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of one paper dataset (Table 1) plus the
+    calibration knobs for its synthetic stand-in."""
+
+    name: str
+    paper_vertices: int          # N
+    paper_timesteps: int         # T
+    paper_nnz: int               # total edges across snapshots
+    paper_nnz_mproduct: int      # after M-product smoothing
+    paper_nnz_edgelife: int      # after edge-life smoothing
+    churn: float                 # consecutive-snapshot edge turnover
+    skew: float                  # degree-distribution skew
+
+    @property
+    def edges_per_snapshot(self) -> float:
+        return self.paper_nnz / self.paper_timesteps
+
+    def scaled_shape(self, scale: float,
+                     t_scale: float = 1.0) -> tuple[int, int, int]:
+        """Return (N, T, edges-per-snapshot) at the given scale."""
+        n = max(64, int(round(self.paper_vertices * scale)))
+        t = max(8, int(round(self.paper_timesteps * t_scale)))
+        m = max(16, int(round(self.edges_per_snapshot * scale)))
+        # keep the simple-digraph constraint satisfiable
+        m = min(m, n * (n - 1) // 2)
+        return n, t, m
+
+
+# ``churn`` calibration: the link datasets (snapshots = links formed per
+# interval, with some repeat activity) get moderate churn, so smoothing
+# grows them substantially as the paper's Table 1 shows; AML-Sim
+# (recurring transactions) gets low churn, which is what gives CD-GCN's
+# raw-graph GD transfer its gains in the paper's §6.2.
+DATASETS: dict[str, DatasetSpec] = {
+    "epinions": DatasetSpec(
+        name="epinions", paper_vertices=755_000, paper_timesteps=501,
+        paper_nnz=13_000_000, paper_nnz_mproduct=653_000_000,
+        paper_nnz_edgelife=1_038_000_000, churn=0.30, skew=1.0),
+    "flickr": DatasetSpec(
+        name="flickr", paper_vertices=2_300_000, paper_timesteps=134,
+        paper_nnz=33_000_000, paper_nnz_mproduct=963_000_000,
+        paper_nnz_edgelife=796_000_000, churn=0.30, skew=1.1),
+    "youtube": DatasetSpec(
+        name="youtube", paper_vertices=3_200_000, paper_timesteps=203,
+        paper_nnz=12_000_000, paper_nnz_mproduct=851_000_000,
+        paper_nnz_edgelife=802_000_000, churn=0.32, skew=1.2),
+    "amlsim": DatasetSpec(
+        name="amlsim", paper_vertices=1_000_000, paper_timesteps=200,
+        paper_nnz=124_000_000, paper_nnz_mproduct=1_094_000_000,
+        paper_nnz_edgelife=1_038_000_000, churn=0.12, skew=0.9),
+}
+
+
+def load_dataset(name: str, scale: float = 1e-3, t_scale: float = 0.15,
+                 seed: int = 0) -> DTDG:
+    """Build the calibrated synthetic stand-in for a paper dataset.
+
+    Parameters
+    ----------
+    name:
+        One of ``epinions``, ``flickr``, ``youtube``, ``amlsim``.
+    scale:
+        Fraction of the paper's vertex/edge counts to materialize.
+    t_scale:
+        Fraction of the paper's timeline length.
+    """
+    if name not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    spec = DATASETS[name]
+    n, t, m = spec.scaled_shape(scale, t_scale)
+    if name == "amlsim":
+        # route through the AML simulator so laundering structure is real
+        config = AMLSimConfig(
+            num_accounts=n, num_timesteps=t,
+            background_per_step=m,
+            partner_persistence=1.0 - spec.churn,
+            num_fan_out=max(2, t // 8), num_fan_in=max(2, t // 8),
+            num_cycles=max(2, t // 10), num_scatter_gather=max(1, t // 12),
+            activity_skew=spec.skew, seed=seed)
+        dtdg = generate_amlsim(config).dtdg
+        dtdg.name = "amlsim"
+        return dtdg
+    return evolving_dtdg(
+        num_vertices=n, num_timesteps=t, edges_per_snapshot=m,
+        churn=spec.churn, seed=seed, skew=spec.skew, name=name)
+
+
+def paper_table1_rows() -> list[tuple]:
+    """The reference rows of paper Table 1 (for report rendering)."""
+    rows = []
+    for spec in DATASETS.values():
+        rows.append((spec.name, spec.paper_vertices, spec.paper_timesteps,
+                     spec.paper_nnz, spec.paper_nnz_mproduct,
+                     spec.paper_nnz_edgelife))
+    return rows

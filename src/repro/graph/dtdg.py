@@ -1,0 +1,142 @@
+"""Discrete-Time Dynamic Graph container (paper §2.1).
+
+A :class:`DTDG` is the sequence ``G_1 … G_T`` of :class:`GraphSnapshot`
+over a fixed vertex set, plus the input feature frames ``X_1 … X_T``
+(each ``N × F``).  Snapshots and frames are stored as Python lists — the
+natural unit for snapshot partitioning (paper §4.2) and block-wise
+gradient checkpointing (paper §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["DTDG", "DTDGStats"]
+
+
+@dataclass(frozen=True)
+class DTDGStats:
+    """Summary statistics matching the columns of paper Table 1."""
+
+    name: str
+    num_vertices: int
+    num_timesteps: int
+    total_nnz: int
+    mean_overlap: float  # mean Jaccard similarity of consecutive snapshots
+
+    def row(self) -> tuple:
+        return (self.name, self.num_vertices, self.num_timesteps,
+                self.total_nnz, round(self.mean_overlap, 3))
+
+
+class DTDG:
+    """A dynamic graph plus per-timestep feature frames.
+
+    Parameters
+    ----------
+    snapshots:
+        Sequence of :class:`GraphSnapshot`, all over the same vertex set.
+    features:
+        Optional sequence of ``N × F`` frames (one per timestep).  When
+        omitted, call :func:`repro.train.preprocess.degree_features` to
+        attach the paper's in/out-degree features.
+    name:
+        Label used by dataset registries and benchmark reports.
+    """
+
+    def __init__(self, snapshots: Sequence[GraphSnapshot],
+                 features: Sequence[np.ndarray] | None = None,
+                 name: str = "dtdg") -> None:
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise DatasetError("a DTDG needs at least one snapshot")
+        n = snapshots[0].num_vertices
+        for i, snap in enumerate(snapshots):
+            if snap.num_vertices != n:
+                raise DatasetError(
+                    f"snapshot {i} has {snap.num_vertices} vertices, "
+                    f"expected {n}")
+        self.snapshots = snapshots
+        self.name = name
+        self.features: list[np.ndarray] | None = None
+        if features is not None:
+            self.set_features(features)
+
+    # -- basic shape -----------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.snapshots[0].num_vertices
+
+    @property
+    def num_timesteps(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def feature_dim(self) -> int:
+        if self.features is None:
+            raise DatasetError(f"DTDG {self.name!r} has no features attached")
+        return self.features[0].shape[1]
+
+    @property
+    def total_nnz(self) -> int:
+        return sum(s.num_edges for s in self.snapshots)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[GraphSnapshot]:
+        return iter(self.snapshots)
+
+    def __getitem__(self, t: int) -> GraphSnapshot:
+        return self.snapshots[t]
+
+    # -- features ---------------------------------------------------------------------
+    def set_features(self, features: Sequence[np.ndarray]) -> None:
+        frames = [np.asarray(f, dtype=np.float64) for f in features]
+        if len(frames) != len(self.snapshots):
+            raise DatasetError(
+                f"{len(frames)} feature frames for "
+                f"{len(self.snapshots)} snapshots")
+        n = self.num_vertices
+        dim = frames[0].shape[1] if frames[0].ndim == 2 else None
+        for i, f in enumerate(frames):
+            if f.ndim != 2 or f.shape[0] != n or f.shape[1] != dim:
+                raise DatasetError(
+                    f"feature frame {i} has shape {f.shape}; expected "
+                    f"({n}, {dim})")
+        self.features = frames
+
+    # -- statistics ----------------------------------------------------------------------
+    def mean_topology_overlap(self) -> float:
+        """Mean Jaccard overlap between consecutive snapshots (GD driver)."""
+        if len(self.snapshots) < 2:
+            return 1.0
+        overlaps = [self.snapshots[i].topology_overlap(self.snapshots[i + 1])
+                    for i in range(len(self.snapshots) - 1)]
+        return float(np.mean(overlaps))
+
+    def stats(self) -> DTDGStats:
+        return DTDGStats(
+            name=self.name,
+            num_vertices=self.num_vertices,
+            num_timesteps=self.num_timesteps,
+            total_nnz=self.total_nnz,
+            mean_overlap=self.mean_topology_overlap(),
+        )
+
+    def slice_time(self, start: int, stop: int, name: str | None = None) -> "DTDG":
+        """Sub-DTDG over timesteps ``[start, stop)`` (features included)."""
+        feats = (self.features[start:stop]
+                 if self.features is not None else None)
+        return DTDG(self.snapshots[start:stop], feats,
+                    name=name or f"{self.name}[{start}:{stop}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DTDG(name={self.name!r}, N={self.num_vertices}, "
+                f"T={self.num_timesteps}, nnz={self.total_nnz})")

@@ -1,0 +1,51 @@
+"""Persist DTDGs to a single ``.npz`` archive.
+
+Format: per-snapshot edge arrays and values plus optional feature frames,
+all under deterministic keys, so generated benchmark inputs can be cached
+between runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.dtdg import DTDG
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["save_dtdg", "load_dtdg"]
+
+
+def save_dtdg(dtdg: DTDG, path: str) -> None:
+    """Write a DTDG (and its features, if attached) to ``path``."""
+    payload: dict[str, np.ndarray] = {
+        "meta": np.array([dtdg.num_vertices, dtdg.num_timesteps,
+                          1 if dtdg.features is not None else 0],
+                         dtype=np.int64),
+        "name": np.array([dtdg.name]),
+    }
+    for t, snap in enumerate(dtdg.snapshots):
+        payload[f"edges_{t}"] = snap.edges
+        payload[f"values_{t}"] = snap.values
+    if dtdg.features is not None:
+        for t, frame in enumerate(dtdg.features):
+            payload[f"features_{t}"] = frame
+    np.savez_compressed(path, **payload)
+
+
+def load_dtdg(path: str) -> DTDG:
+    """Read a DTDG previously written by :func:`save_dtdg`."""
+    if not os.path.exists(path):
+        raise DatasetError(f"no such DTDG archive: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        n, t_count, has_features = archive["meta"]
+        name = str(archive["name"][0])
+        snaps = [GraphSnapshot(int(n), archive[f"edges_{t}"],
+                               archive[f"values_{t}"])
+                 for t in range(int(t_count))]
+        features = None
+        if has_features:
+            features = [archive[f"features_{t}"] for t in range(int(t_count))]
+    return DTDG(snaps, features, name=name)

@@ -1,0 +1,176 @@
+"""A single DTDG snapshot: the graph at one timestep (paper §2.1).
+
+A snapshot ``G_t = (V, E_t)`` over a fixed vertex set ``V`` of size ``N``.
+Edges are stored as a canonically sorted ``(nnz, 2)`` int64 COO array —
+the representation that is actually *shipped* between CPU and GPU in the
+paper's transfer study, and the representation the graph-difference
+encoder (paper §3.2) operates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.tensor.sparse import INDEX_BYTES, VALUE_BYTES, SparseMatrix
+
+__all__ = ["GraphSnapshot", "canonical_edges"]
+
+
+def canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Sort an ``(m, 2)`` edge array lexicographically and drop duplicates."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if len(edges) == 0:
+        return edges
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    edges = edges[order]
+    keep = np.ones(len(edges), dtype=bool)
+    keep[1:] = (np.diff(edges[:, 0]) != 0) | (np.diff(edges[:, 1]) != 0)
+    return edges[keep]
+
+
+class GraphSnapshot:
+    """The graph at one timestep of a discrete-time dynamic graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Size of the shared vertex set ``V``.
+    edges:
+        ``(m, 2)`` integer array of directed ``(src, dst)`` pairs.
+        Canonicalized (sorted, deduplicated) on construction.
+    values:
+        Optional per-edge weights aligned with the *canonical* edge order.
+        Defaults to all-ones.  Snapshots produced by smoothing (edge-life,
+        M-product — paper §5.4) carry non-unit values.
+    """
+
+    __slots__ = ("num_vertices", "edges", "values", "_adj")
+
+    def __init__(self, num_vertices: int, edges: np.ndarray,
+                 values: np.ndarray | None = None) -> None:
+        if num_vertices <= 0:
+            raise DatasetError(f"num_vertices must be positive, got "
+                               f"{num_vertices}")
+        raw = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        canon = canonical_edges(raw)
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64).reshape(-1)
+            if len(values) == len(raw):
+                # values are aligned with the caller's raw edge order:
+                # re-sort (and merge duplicates) into canonical order
+                canon, values = _merge_values(raw, values)
+            else:
+                raise DatasetError(
+                    f"{len(values)} values for {len(raw)} edges")
+        if len(canon) and (canon.min() < 0 or canon.max() >= num_vertices):
+            raise DatasetError("edge endpoint out of vertex range")
+        self.num_vertices = int(num_vertices)
+        self.edges = canon
+        self.values = (values if values is not None
+                       else np.ones(len(canon), dtype=np.float64))
+        self._adj: SparseMatrix | None = None
+
+    # -- structure ----------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.edges)
+
+    def adjacency(self) -> SparseMatrix:
+        """Sparse adjacency matrix ``A_t`` (cached)."""
+        if self._adj is None:
+            self._adj = SparseMatrix.from_edges(
+                self.edges, self.values, (self.num_vertices,
+                                          self.num_vertices))
+        return self._adj
+
+    def out_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.num_vertices, dtype=np.float64)
+        if len(self.edges):
+            np.add.at(deg, self.edges[:, 0], 1.0)
+        return deg
+
+    def in_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.num_vertices, dtype=np.float64)
+        if len(self.edges):
+            np.add.at(deg, self.edges[:, 1], 1.0)
+        return deg
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Python-set view of the topology (small graphs / tests only)."""
+        return set(map(tuple, self.edges.tolist()))
+
+    # -- transfer accounting (paper §3.2) ------------------------------------------
+    @property
+    def index_nbytes(self) -> int:
+        return 2 * INDEX_BYTES * self.num_edges
+
+    @property
+    def value_nbytes(self) -> int:
+        return VALUE_BYTES * self.num_edges
+
+    @property
+    def nbytes(self) -> int:
+        """Naive sparse (index, value) transfer footprint."""
+        return self.index_nbytes + self.value_nbytes
+
+    # -- misc -----------------------------------------------------------------------
+    def with_values(self, values: np.ndarray) -> "GraphSnapshot":
+        """Same topology, new edge values (canonical order)."""
+        return GraphSnapshot(self.num_vertices, self.edges, values)
+
+    def topology_overlap(self, other: "GraphSnapshot") -> float:
+        """Jaccard similarity of the two edge sets (paper's GD motivation)."""
+        if self.num_edges == 0 and other.num_edges == 0:
+            return 1.0
+        common = count_common_edges(self.edges, other.edges)
+        union = self.num_edges + other.num_edges - common
+        return common / union if union else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"GraphSnapshot(N={self.num_vertices}, "
+                f"nnz={self.num_edges})")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, GraphSnapshot)
+                and self.num_vertices == other.num_vertices
+                and self.edges.shape == other.edges.shape
+                and bool((self.edges == other.edges).all())
+                and bool(np.allclose(self.values, other.values)))
+
+    def __hash__(self):  # snapshots are mutable-ish; identity hashing
+        return id(self)
+
+
+def _edge_keys(edges: np.ndarray, n: int) -> np.ndarray:
+    """Encode (u, v) pairs as scalar int64 keys for fast set algebra."""
+    return edges[:, 0] * np.int64(n) + edges[:, 1]
+
+
+def count_common_edges(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of edges present in both canonical edge arrays."""
+    if len(a) == 0 or len(b) == 0:
+        return 0
+    n = int(max(a.max(), b.max())) + 1
+    return int(np.intersect1d(_edge_keys(a, n), _edge_keys(b, n),
+                              assume_unique=True).size)
+
+
+def _merge_values(raw_edges: np.ndarray,
+                  raw_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalize raw (possibly duplicated) edges, summing their values."""
+    order = np.lexsort((raw_edges[:, 1], raw_edges[:, 0]))
+    edges = raw_edges[order]
+    values = raw_values[order]
+    if len(edges) == 0:
+        return edges, values
+    new_group = np.ones(len(edges), dtype=bool)
+    new_group[1:] = (np.diff(edges[:, 0]) != 0) | (np.diff(edges[:, 1]) != 0)
+    group_ids = np.cumsum(new_group) - 1
+    summed = np.zeros(group_ids[-1] + 1, dtype=np.float64)
+    np.add.at(summed, group_ids, values)
+    return edges[new_group], summed

@@ -1,0 +1,10 @@
+"""The three DTDG architectures of the paper's study (§5)."""
+
+from repro.models.base import DynamicGNN, detach_carry
+from repro.models.cdgcn import CDGCN
+from repro.models.evolvegcn import EvolveGCN
+from repro.models.tmgcn import TMGCN
+from repro.models.registry import MODEL_NAMES, build_model
+
+__all__ = ["DynamicGNN", "detach_carry", "CDGCN", "EvolveGCN", "TMGCN",
+           "MODEL_NAMES", "build_model"]

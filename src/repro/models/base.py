@@ -1,0 +1,103 @@
+"""The dynamic-GNN model framework (paper §2.2).
+
+A model is a stack of layers, each pairing a GCN component (independent
+per snapshot) with an RNN component (independent per vertex, dependent
+along the timeline).  Models execute **block-wise**: ``forward_block``
+consumes a contiguous run of timesteps plus a *carry* — the ``π_b``
+payload of paper Fig. 2 (RNN states and trailing window frames) — and
+returns the embeddings plus the carry for the next block.  Running a
+single block over the whole timeline recovers the plain forward pass.
+
+Two model kinds exist, distinguished by ``kind``:
+
+* ``"gcn_rnn"`` (CD-GCN, TM-GCN) — the RNN works on vertex features, so
+  the distributed engine must redistribute between the GCN and RNN
+  stages (§4.2);
+* ``"evolve"`` (EvolveGCN) — the recurrence runs over the *replicated*
+  GCN weights, making every stage communication-free (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.tensor import Module, Tensor
+from repro.tensor.sparse import SparseMatrix
+
+__all__ = ["DynamicGNN", "detach_carry"]
+
+
+def detach_carry(carry: Any) -> Any:
+    """Recursively detach every Tensor in a carry structure.
+
+    Checkpoint block boundaries store the carry *detached* so each
+    block's autograd graph is independent (paper §3.1); the gradient
+    flowing into the carry is handled explicitly by the checkpointed
+    backward pass.
+    """
+    if carry is None:
+        return None
+    if isinstance(carry, Tensor):
+        return carry.detach()
+    if isinstance(carry, tuple):
+        return tuple(detach_carry(c) for c in carry)
+    if isinstance(carry, list):
+        return [detach_carry(c) for c in carry]
+    if isinstance(carry, dict):
+        return {k: detach_carry(v) for k, v in carry.items()}
+    return carry
+
+
+class DynamicGNN(Module):
+    """Base class for the three paper models.
+
+    Subclasses set ``kind``, ``embed_dim`` and ``num_layers`` and
+    implement the block protocol below.
+    """
+
+    kind: str = "gcn_rnn"
+    embed_dim: int
+    num_layers: int
+
+    # -- block protocol (must be implemented) ---------------------------------------
+    def init_carry(self, rows: int) -> list:
+        """Fresh per-layer carry for a timeline starting at t=0.
+
+        ``rows`` is the number of vertex rows the RNN will see (``N`` on
+        a single device, ``N/P`` per rank under redistribution).
+        """
+        raise NotImplementedError
+
+    def forward_block(self, laplacians: list[SparseMatrix],
+                      frames: list[Tensor],
+                      carry: list) -> tuple[list[Tensor], list]:
+        """Process one contiguous block of timesteps."""
+        raise NotImplementedError
+
+    # -- conveniences -----------------------------------------------------------------
+    def forward(self, laplacians: list[SparseMatrix],
+                frames: list[Tensor]) -> list[Tensor]:
+        """Whole-timeline forward (single block)."""
+        if len(laplacians) != len(frames):
+            raise ConfigError(
+                f"{len(laplacians)} laplacians vs {len(frames)} frames")
+        if not frames:
+            return []
+        outs, _ = self.forward_block(laplacians, frames,
+                                     self.init_carry(frames[0].shape[0]))
+        return outs
+
+    # -- cost model (per single timestep) ------------------------------------------------
+    def gcn_flops_per_step(self, nnz: int, rows: int) -> tuple[float, float]:
+        """(sparse, dense) FLOPs of all GCN components at one timestep."""
+        raise NotImplementedError
+
+    def rnn_flops_per_step(self, rows: int) -> float:
+        """Dense FLOPs of all RNN components at one timestep."""
+        raise NotImplementedError
+
+    def activation_bytes_per_step(self, rows: int) -> int:
+        """Rough bytes of intermediate activations per timestep (memory
+        accounting for the checkpoint study)."""
+        raise NotImplementedError

@@ -1,0 +1,120 @@
+"""EvolveGCN (EGCN-O variant, paper §5.2, Pareja et al.).
+
+Each layer maintains a per-timestep GCN weight evolved by an LSTM over
+the weight matrix itself:
+
+    W_t = LSTM(W_{t−1}),     Y_t = σ(Ã_t · X_t · W_t)
+
+There is no vertex-level recurrence, so under snapshot partitioning the
+whole model is communication-free apart from the end-of-epoch gradient
+all-reduce (paper §5.5): the weight matrices are tiny and replicated,
+and every rank can evolve them locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.base import DynamicGNN
+from repro.nn.gcn import GCNLayer
+from repro.nn.lstm import WeightLSTMCell
+from repro.tensor import Tensor
+from repro.tensor.sparse import SparseMatrix
+
+__all__ = ["EvolveGCN"]
+
+
+class EvolveGCN(DynamicGNN):
+    """Multi-layer EGCN-O."""
+
+    kind = "evolve"
+
+    def __init__(self, in_features: int, hidden: int = 6,
+                 embed_dim: int = 6, num_layers: int = 2,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.hidden = hidden
+        self.embed_dim = embed_dim
+        self.num_layers = num_layers
+        width = in_features
+        for idx in range(num_layers):
+            out = embed_dim if idx == num_layers - 1 else hidden
+            gcn = GCNLayer(width, out, rng)
+            evolver = WeightLSTMCell(out, rng)
+            setattr(self, f"gcn{idx}", gcn)
+            setattr(self, f"evolver{idx}", evolver)
+            width = out
+
+    def gcn_layer(self, idx: int) -> GCNLayer:
+        return getattr(self, f"gcn{idx}")
+
+    def evolver(self, idx: int) -> WeightLSTMCell:
+        return getattr(self, f"evolver{idx}")
+
+    # -- weight evolution ---------------------------------------------------------
+    def weight_init(self, idx: int) -> tuple[Tensor, Tensor]:
+        """Initial weight-LSTM state: hidden = the layer's base weight."""
+        return self.evolver(idx).init_state(self.gcn_layer(idx).weight)
+
+    def evolve_weights(self, idx: int, count: int,
+                       state: tuple[Tensor, Tensor]
+                       ) -> tuple[list[Tensor], tuple[Tensor, Tensor]]:
+        """Produce ``count`` consecutive evolved weights ``W_t``.
+
+        Every rank replays this identical tiny computation locally —
+        that is what makes the model communication-free (§5.5).
+        """
+        weights: list[Tensor] = []
+        for _ in range(count):
+            w, state = self.evolver(idx).forward(state)
+            weights.append(w)
+        return weights, state
+
+    def gcn_with_weight(self, idx: int, laplacian: SparseMatrix,
+                        frame: Tensor, weight: Tensor) -> Tensor:
+        return self.gcn_layer(idx).forward_with_weight(laplacian, frame,
+                                                       weight)
+
+    # -- block protocol -----------------------------------------------------------------
+    def init_carry(self, rows: int) -> list:
+        # carry is per-layer weight-LSTM state; `rows` is irrelevant here
+        return [self.weight_init(idx) for idx in range(self.num_layers)]
+
+    def forward_block(self, laplacians, frames, carry):
+        xs = frames
+        new_carry = []
+        for idx in range(self.num_layers):
+            weights, state = self.evolve_weights(idx, len(laplacians),
+                                                 carry[idx])
+            xs = [self.gcn_with_weight(idx, lap, x, w)
+                  for lap, x, w in zip(laplacians, xs, weights)]
+            new_carry.append(state)
+        return xs, new_carry
+
+    # -- cost model ------------------------------------------------------------------------
+    def gcn_flops_per_step(self, nnz: int, rows: int) -> tuple[float, float]:
+        sparse = dense = 0.0
+        for idx in range(self.num_layers):
+            s, d = self.gcn_layer(idx).flops(nnz, rows)
+            sparse += s
+            dense += d
+        return sparse, dense
+
+    def rnn_flops_per_step(self, rows: int) -> float:
+        """Weight-LSTM cost: independent of the vertex count."""
+        return sum(self.evolver(idx).flops(self.gcn_layer(idx).in_features)
+                   for idx in range(self.num_layers))
+
+    def activation_bytes_per_step(self, rows: int) -> int:
+        per_layer = sum(self.gcn_layer(i).out_features
+                        for i in range(self.num_layers))
+        return int(4 * rows * per_layer)  # fp32 activations
+
+    def gradient_nbytes(self) -> int:
+        """Size of the gradient all-reduce buffer (tiny, per §5.5)."""
+        return sum(p.nbytes for p in self.parameters())

@@ -1,0 +1,37 @@
+"""Model registry: the paper's three representative architectures by name."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.base import DynamicGNN
+from repro.models.cdgcn import CDGCN
+from repro.models.evolvegcn import EvolveGCN
+from repro.models.tmgcn import TMGCN
+
+__all__ = ["MODEL_NAMES", "build_model"]
+
+MODEL_NAMES = ("tmgcn", "cdgcn", "egcn")
+
+
+def build_model(name: str, in_features: int = 2, hidden: int = 6,
+                embed_dim: int = 6, num_layers: int = 2,
+                seed: int = 0, **kwargs) -> DynamicGNN:
+    """Instantiate a paper model with the paper's default widths.
+
+    The paper sets intermediate feature lengths to 6 and uses in/out
+    degree (F=2) as input features for every configuration (§6.1).
+    """
+    rng = np.random.default_rng(seed)
+    if name == "tmgcn":
+        return TMGCN(in_features, hidden, embed_dim, num_layers,
+                     rng=rng, **kwargs)
+    if name == "cdgcn":
+        return CDGCN(in_features, hidden, embed_dim, num_layers,
+                     rng=rng, **kwargs)
+    if name in ("egcn", "evolvegcn"):
+        return EvolveGCN(in_features, hidden, embed_dim, num_layers,
+                         rng=rng, **kwargs)
+    raise ConfigError(f"unknown model {name!r}; expected one of "
+                      f"{MODEL_NAMES}")

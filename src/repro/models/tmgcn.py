@@ -1,0 +1,106 @@
+"""TM-GCN — tensor M-product dynamic GCN (paper §5.3, Malik et al.).
+
+Each layer pairs a plain GCN with the parameter-free M-transform: the
+RNN component is a trailing-window average along the timeline.  TM-GCN
+additionally smooths its *input* (both the adjacency tensor and the
+feature tensor) with the same M-product in preprocessing (§5.4) — that
+half lives in :mod:`repro.train.preprocess`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.base import DynamicGNN
+from repro.nn.gcn import GCNLayer
+from repro.nn.mproduct import m_transform_flops, m_transform_frames
+from repro.tensor import Tensor
+from repro.tensor.sparse import SparseMatrix
+
+__all__ = ["TMGCN"]
+
+
+class TMGCN(DynamicGNN):
+    """Multi-layer TM-GCN.
+
+    Parameters
+    ----------
+    window:
+        The M-product window ``w`` (both the RNN aggregation width and
+        the carry size between checkpoint blocks).
+    """
+
+    kind = "gcn_rnn"
+
+    def __init__(self, in_features: int, hidden: int = 6,
+                 embed_dim: int = 6, num_layers: int = 2, window: int = 3,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.hidden = hidden
+        self.embed_dim = embed_dim
+        self.num_layers = num_layers
+        self.window = window
+        width = in_features
+        for idx in range(num_layers):
+            out = embed_dim if idx == num_layers - 1 else hidden
+            setattr(self, f"gcn{idx}", GCNLayer(width, out, rng))
+            width = out
+
+    def gcn_layer(self, idx: int) -> GCNLayer:
+        return getattr(self, f"gcn{idx}")
+
+    # -- distributed-engine hooks ---------------------------------------------------
+    def gcn_forward(self, idx: int, laplacian: SparseMatrix, frame: Tensor,
+                    precomputed: Tensor | None = None) -> Tensor:
+        gcn = self.gcn_layer(idx)
+        if precomputed is not None:
+            return gcn.forward_precomputed(precomputed)
+        return gcn(laplacian, frame)
+
+    def rnn_block(self, idx: int, frames: list[Tensor],
+                  state: list[Tensor]) -> tuple[list[Tensor], list[Tensor]]:
+        return m_transform_frames(frames, self.window, history=state)
+
+    def rnn_init(self, idx: int, rows: int) -> list[Tensor]:
+        return []  # empty history at the start of the timeline
+
+    # -- block protocol -----------------------------------------------------------------
+    def init_carry(self, rows: int) -> list:
+        return [self.rnn_init(idx, rows) for idx in range(self.num_layers)]
+
+    def forward_block(self, laplacians, frames, carry):
+        xs = frames
+        new_carry = []
+        for idx in range(self.num_layers):
+            ys = [self.gcn_forward(idx, lap, x)
+                  for lap, x in zip(laplacians, xs)]
+            ys, history = self.rnn_block(idx, ys, carry[idx])
+            new_carry.append(history)
+            xs = ys
+        return xs, new_carry
+
+    # -- cost model -----------------------------------------------------------------------
+    def gcn_flops_per_step(self, nnz: int, rows: int) -> tuple[float, float]:
+        sparse = dense = 0.0
+        for idx in range(self.num_layers):
+            s, d = self.gcn_layer(idx).flops(nnz, rows)
+            sparse += s
+            dense += d
+        return sparse, dense
+
+    def rnn_flops_per_step(self, rows: int) -> float:
+        return sum(m_transform_flops(rows, self.gcn_layer(idx).out_features,
+                                     self.window)
+                   for idx in range(self.num_layers))
+
+    def activation_bytes_per_step(self, rows: int) -> int:
+        per_layer = sum(2 * self.gcn_layer(i).out_features
+                        for i in range(self.num_layers))
+        return int(4 * rows * per_layer)  # fp32 activations

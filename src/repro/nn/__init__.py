@@ -1,0 +1,13 @@
+"""Model building blocks: GCN, LSTM, M-transform and dense heads."""
+
+from repro.nn.gcn import GCNLayer, gcn_dense_flops, gcn_spmm_flops
+from repro.nn.lstm import LSTMCell, WeightLSTMCell, lstm_flops
+from repro.nn.mproduct import m_matrix, m_transform_flops, m_transform_frames
+from repro.nn.linear import EdgeScorer, Linear
+
+__all__ = [
+    "GCNLayer", "gcn_spmm_flops", "gcn_dense_flops",
+    "LSTMCell", "WeightLSTMCell", "lstm_flops",
+    "m_matrix", "m_transform_frames", "m_transform_flops",
+    "Linear", "EdgeScorer",
+]

@@ -1,0 +1,60 @@
+"""Dense layers and the edge-concatenation classifier head.
+
+The paper derives edge-level predictions "via concatenating the
+embeddings of the edge end-points and applying a fully connected layer"
+(§6.4); :class:`EdgeScorer` implements exactly that head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Module, Parameter, Tensor, init, ops
+
+__all__ = ["Linear", "EdgeScorer"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng),
+            name="linear.weight")
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), name="linear.bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+    def flops(self, rows: int) -> float:
+        return 2.0 * rows * self.in_features * self.out_features
+
+
+class EdgeScorer(Module):
+    """Classify vertex pairs from concatenated endpoint embeddings.
+
+    ``forward(z, pairs)`` gathers ``z[u] ‖ z[v]`` for each pair and maps
+    it to ``num_classes`` logits.
+    """
+
+    def __init__(self, embed_dim: int, num_classes: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.num_classes = num_classes
+        self.fc = Linear(2 * embed_dim, num_classes, rng)
+
+    def forward(self, embeddings: Tensor, pairs: np.ndarray) -> Tensor:
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        src = embeddings[pairs[:, 0]]
+        dst = embeddings[pairs[:, 1]]
+        return self.fc(ops.concat([src, dst], axis=1))

@@ -1,0 +1,25 @@
+"""Data-distribution strategies: snapshot (the paper's scheme), vertex
+(hypergraph baseline), and hybrid (§6.5) partitioning."""
+
+from repro.partition.base import (TimestepAssignment, VertexChunks,
+                                  contiguous_chunks)
+from repro.partition.snapshot_part import (block_ranges,
+                                           blockwise_snapshot_partition,
+                                           snapshot_partition)
+from repro.partition.hypergraph import (Hypergraph, build_gcn_hypergraph,
+                                        connectivity_cost,
+                                        partition_hypergraph)
+from repro.partition.vertex_part import (SnapshotCommPlan, VertexPartition,
+                                         hypergraph_vertex_partition,
+                                         random_vertex_partition)
+from repro.partition.hybrid import HybridPlan, hybrid_partition
+
+__all__ = [
+    "TimestepAssignment", "VertexChunks", "contiguous_chunks",
+    "snapshot_partition", "blockwise_snapshot_partition", "block_ranges",
+    "Hypergraph", "build_gcn_hypergraph", "partition_hypergraph",
+    "connectivity_cost",
+    "VertexPartition", "SnapshotCommPlan", "hypergraph_vertex_partition",
+    "random_vertex_partition",
+    "HybridPlan", "hybrid_partition",
+]

@@ -1,0 +1,53 @@
+"""Snapshot partitioning (paper §4.2) — the paper's distribution scheme.
+
+Plain variant: rank ``p`` owns ``k = T/P`` *contiguous* snapshots
+``A_s … A_e`` with ``s = 1 + (p−1)k``.  Checkpoint variant: the timeline
+is first cut into ``nb`` blocks of ``bsize = T/nb`` timesteps, and the
+contiguous split is applied *within each block*, so a rank's snapshots
+are contiguous inside a block but non-contiguous globally (Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+from repro.partition.base import TimestepAssignment, contiguous_chunks
+
+__all__ = ["snapshot_partition", "blockwise_snapshot_partition",
+           "block_ranges"]
+
+
+def snapshot_partition(num_timesteps: int,
+                       num_ranks: int) -> TimestepAssignment:
+    """Contiguous snapshot assignment (non-checkpoint setting, Fig. 3a)."""
+    chunks = contiguous_chunks(num_timesteps, num_ranks)
+    owned = tuple(tuple(range(lo, hi)) for lo, hi in chunks)
+    assignment = TimestepAssignment(owned, num_timesteps)
+    assignment.validate()
+    return assignment
+
+
+def block_ranges(num_timesteps: int, num_blocks: int) -> list[tuple[int, int]]:
+    """Checkpoint block boundaries ``[s(b), e(b))`` over the timeline."""
+    if num_blocks <= 0:
+        raise PartitionError(f"num_blocks must be positive, got {num_blocks}")
+    if num_blocks > num_timesteps:
+        raise PartitionError(
+            f"more blocks ({num_blocks}) than timesteps ({num_timesteps})")
+    return contiguous_chunks(num_timesteps, num_blocks)
+
+
+def blockwise_snapshot_partition(num_timesteps: int, num_ranks: int,
+                                 num_blocks: int) -> TimestepAssignment:
+    """Snapshot partitioning within each checkpoint block (Fig. 3b).
+
+    Every rank receives ``bsize/P`` contiguous timesteps of every block;
+    the processors then sweep the blocks synchronously (paper §4.2).
+    """
+    owned: list[list[int]] = [[] for _ in range(num_ranks)]
+    for lo, hi in block_ranges(num_timesteps, num_blocks):
+        for rank, (s, e) in enumerate(contiguous_chunks(hi - lo, num_ranks)):
+            owned[rank].extend(range(lo + s, lo + e))
+    assignment = TimestepAssignment(tuple(tuple(o) for o in owned),
+                                    num_timesteps)
+    assignment.validate()
+    return assignment

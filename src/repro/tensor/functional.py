@@ -1,0 +1,152 @@
+"""Differentiable activations and losses.
+
+Everything needed by the three dynamic-GNN models: ReLU for GCN (paper
+Eq. 2), sigmoid/tanh for the LSTM gates (paper §5.1/§5.2), and the
+cross-entropy losses used for link prediction and node classification
+(paper §2.2, §6.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu", "sigmoid", "tanh", "softmax", "log_softmax", "cross_entropy",
+    "binary_cross_entropy_with_logits", "mse_loss",
+]
+
+
+def relu(x) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+    out = x.data * mask
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def sigmoid(x) -> Tensor:
+    x = as_tensor(x)
+    # numerically stable split over sign
+    out = np.empty_like(x.data)
+    pos = x.data >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
+    ex = np.exp(x.data[~pos])
+    out[~pos] = ex / (1.0 + ex)
+
+    def backward(g):
+        return (g * out * (1.0 - out),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def tanh(x) -> Tensor:
+    x = as_tensor(x)
+    out = np.tanh(x.data)
+
+    def backward(g):
+        return (g * (1.0 - out * out),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def _stable_log_softmax(z: np.ndarray) -> np.ndarray:
+    zmax = z.max(axis=-1, keepdims=True)
+    shifted = z - zmax
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(x) -> Tensor:
+    x = as_tensor(x)
+    out = np.exp(_stable_log_softmax(x.data))
+
+    def backward(g):
+        dot = (g * out).sum(axis=-1, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x) -> Tensor:
+    x = as_tensor(x)
+    out = _stable_log_softmax(x.data)
+    soft = np.exp(out)
+
+    def backward(g):
+        return (g - soft * g.sum(axis=-1, keepdims=True),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between row logits and integer labels.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(n, C)``.
+    labels:
+        Integer array of shape ``(n,)`` with values in ``[0, C)``.
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ShapeError("cross_entropy expects 2-D logits")
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels shape {labels.shape} incompatible with logits "
+            f"{logits.shape}")
+    n = logits.shape[0]
+    logp = _stable_log_softmax(logits.data)
+    picked = logp[np.arange(n), labels]
+    out = np.asarray(-picked.mean())
+    soft = np.exp(logp)
+
+    def backward(g):
+        grad = soft.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return (grad * (g / n),)
+
+    return Tensor._make(out, (logits,), backward)
+
+
+def binary_cross_entropy_with_logits(logits, targets: np.ndarray) -> Tensor:
+    """Mean BCE over arbitrary-shape logits against 0/1 targets."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise ShapeError(
+            f"targets shape {targets.shape} != logits shape {logits.shape}")
+    z = logits.data
+    # log(1 + exp(-|z|)) + max(z, 0) - z*t  (numerically stable)
+    loss = np.maximum(z, 0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+    out = np.asarray(loss.mean())
+    n = z.size
+
+    def backward(g):
+        sig = np.empty_like(z)
+        pos = z >= 0
+        sig[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        sig[~pos] = ez / (1.0 + ez)
+        return ((sig - targets) * (g / n),)
+
+    return Tensor._make(out, (logits,), backward)
+
+
+def mse_loss(pred, target: np.ndarray) -> Tensor:
+    pred = as_tensor(pred)
+    target = np.asarray(target, dtype=np.float64)
+    diff = pred.data - target
+    out = np.asarray((diff * diff).mean())
+    n = diff.size
+
+    def backward(g):
+        return (2.0 * diff * (g / n),)
+
+    return Tensor._make(out, (pred,), backward)

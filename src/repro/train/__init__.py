@@ -1,0 +1,21 @@
+"""Training systems: preprocessing, checkpointing, tasks, trainers."""
+
+from repro.train.preprocess import (apply_edge_life, apply_mproduct_smoothing,
+                                    compute_laplacians, degree_features,
+                                    precompute_aggregation, smooth_for_model)
+from repro.train.checkpoint import (CheckpointRunner, carry_nbytes,
+                                    flatten_tensors)
+from repro.train.tasks import LinkPredictionTask, NodeClassificationTask
+from repro.train.metrics import ConvergenceCurve, EpochResult
+from repro.train.trainer import SingleDeviceTrainer, TrainerConfig
+from repro.train.distributed import DistConfig, DistributedTrainer
+
+__all__ = [
+    "degree_features", "apply_edge_life", "apply_mproduct_smoothing",
+    "compute_laplacians", "precompute_aggregation", "smooth_for_model",
+    "CheckpointRunner", "carry_nbytes", "flatten_tensors",
+    "LinkPredictionTask", "NodeClassificationTask",
+    "EpochResult", "ConvergenceCurve",
+    "SingleDeviceTrainer", "TrainerConfig",
+    "DistConfig", "DistributedTrainer",
+]

@@ -1,0 +1,63 @@
+"""Result records shared by the trainers and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.clock import TimeBreakdown
+
+__all__ = ["EpochResult", "ConvergenceCurve"]
+
+
+@dataclass
+class EpochResult:
+    """Everything one training epoch reports.
+
+    Times come from the simulated clocks (critical-path rank), volumes
+    from the communicator's event log, memory from the device ledgers —
+    the same quantities the paper's Figs. 4/5 and Table 2 plot.
+    """
+
+    loss: float
+    breakdown: TimeBreakdown
+    test_accuracy: float = float("nan")
+    comm_volume_units: float = 0.0        # feature-vector units (floats)
+    gradient_volume_units: float = 0.0
+    transfer_bytes: int = 0
+    transfer_naive_equivalent_bytes: int = 0
+    peak_memory_bytes: int = 0
+
+    @property
+    def gd_savings_ratio(self) -> float:
+        if self.transfer_bytes == 0:
+            return 1.0
+        return self.transfer_naive_equivalent_bytes / self.transfer_bytes
+
+    @property
+    def total_ms(self) -> float:
+        return self.breakdown.total * 1e3
+
+
+@dataclass
+class ConvergenceCurve:
+    """Per-epoch loss/accuracy series (paper Fig. 6)."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    def record(self, result: EpochResult) -> None:
+        self.losses.append(result.loss)
+        self.accuracies.append(result.test_accuracy)
+
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else float("nan")
+
+    def max_divergence(self, other: "ConvergenceCurve") -> float:
+        """Largest per-epoch |loss difference| against another run."""
+        if len(self.losses) != len(other.losses):
+            raise ValueError("curves must have equal length")
+        return max((abs(a - b) for a, b in zip(self.losses, other.losses)),
+                   default=0.0)

@@ -1,0 +1,169 @@
+"""Tests for the graph-difference encoding (paper §3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError
+from repro.graph import (DiffDecoder, GraphSnapshot, apply_diff,
+                         diff_snapshots, encode_sequence,
+                         sequence_transfer_stats)
+from repro.graph.generators import evolving_dtdg
+
+
+def snap(n, pairs, values=None):
+    return GraphSnapshot(n, np.array(pairs, dtype=np.int64).reshape(-1, 2),
+                         values)
+
+
+class TestDiffSnapshots:
+    def test_identical_topology(self):
+        a = snap(4, [[0, 1], [1, 2]])
+        b = snap(4, [[0, 1], [1, 2]], values=[3.0, 4.0])
+        d = diff_snapshots(a, b)
+        assert len(d.removed) == 0
+        assert len(d.added) == 0
+        np.testing.assert_array_equal(d.values, [3.0, 4.0])
+
+    def test_pure_addition(self):
+        a = snap(4, [[0, 1]])
+        b = snap(4, [[0, 1], [2, 3]])
+        d = diff_snapshots(a, b)
+        assert len(d.removed) == 0
+        np.testing.assert_array_equal(d.added, [[2, 3]])
+
+    def test_pure_removal(self):
+        a = snap(4, [[0, 1], [2, 3]])
+        b = snap(4, [[0, 1]])
+        d = diff_snapshots(a, b)
+        np.testing.assert_array_equal(d.removed, [[2, 3]])
+        assert len(d.added) == 0
+
+    def test_mixed(self):
+        a = snap(5, [[0, 1], [1, 2], [3, 4]])
+        b = snap(5, [[0, 1], [2, 2], [3, 4]])
+        d = diff_snapshots(a, b)
+        np.testing.assert_array_equal(d.removed, [[1, 2]])
+        np.testing.assert_array_equal(d.added, [[2, 2]])
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(DatasetError):
+            diff_snapshots(snap(3, [[0, 1]]), snap(4, [[0, 1]]))
+
+    def test_payload_accounting(self):
+        a = snap(5, [[0, 1], [1, 2], [3, 4]])
+        b = snap(5, [[0, 1], [2, 2], [3, 4]])
+        d = diff_snapshots(a, b)
+        # 2 diff index pairs * 16 bytes + 3 float32 values * 4 bytes
+        assert d.payload_nbytes == 2 * 16 + 3 * 4
+        assert d.naive_nbytes == 3 * 20
+        assert d.savings_ratio == pytest.approx(60 / 44)
+
+    def test_savings_grow_with_overlap(self):
+        base = [[i, i + 1] for i in range(50)]
+        a = snap(100, base)
+        mostly_same = snap(100, base[:-1] + [[60, 61]])
+        disjoint = snap(100, [[i + 50, i] for i in range(50)])
+        d_similar = diff_snapshots(a, mostly_same)
+        d_disjoint = diff_snapshots(a, disjoint)
+        assert d_similar.savings_ratio > d_disjoint.savings_ratio
+        assert d_disjoint.savings_ratio < 1.0  # GD loses on disjoint graphs
+
+
+class TestApplyDiff:
+    def test_roundtrip_simple(self):
+        a = snap(5, [[0, 1], [1, 2], [3, 4]])
+        b = snap(5, [[0, 1], [2, 2], [4, 3]], values=[1.5, 2.5, 3.5])
+        rebuilt = apply_diff(a, diff_snapshots(a, b))
+        assert rebuilt == b
+
+    def test_roundtrip_empty_to_full(self):
+        a = snap(4, np.empty((0, 2), dtype=np.int64))
+        b = snap(4, [[0, 1], [2, 3]])
+        assert apply_diff(a, diff_snapshots(a, b)) == b
+
+    def test_roundtrip_full_to_empty(self):
+        a = snap(4, [[0, 1], [2, 3]])
+        b = snap(4, np.empty((0, 2), dtype=np.int64))
+        assert apply_diff(a, diff_snapshots(a, b)) == b
+
+    def test_wrong_base_detected(self):
+        a = snap(5, [[0, 1], [1, 2]])
+        b = snap(5, [[0, 1], [2, 3]])
+        other = snap(5, [[4, 0]])
+        d = diff_snapshots(a, b)
+        with pytest.raises(DatasetError):
+            apply_diff(other, d)
+
+    @given(st.sets(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                   max_size=30),
+           st.sets(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                   max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, ea, eb):
+        def mk(pairs):
+            arr = (np.array(sorted(pairs), dtype=np.int64).reshape(-1, 2)
+                   if pairs else np.empty((0, 2), dtype=np.int64))
+            rng = np.random.default_rng(len(pairs))
+            return GraphSnapshot(10, arr, rng.normal(size=len(arr)))
+
+        a, b = mk(ea), mk(eb)
+        rebuilt = apply_diff(a, diff_snapshots(a, b))
+        assert rebuilt == b
+
+
+class TestSequenceEncoding:
+    def test_encode_sequence_structure(self):
+        dtdg = evolving_dtdg(30, 6, 40, churn=0.2, seed=1)
+        first, diffs = encode_sequence(dtdg.snapshots)
+        assert first == dtdg.snapshots[0]
+        assert len(diffs) == 5
+
+    def test_decoder_replays_sequence(self):
+        dtdg = evolving_dtdg(30, 8, 40, churn=0.3, seed=2)
+        first, diffs = encode_sequence(dtdg.snapshots)
+        decoder = DiffDecoder(first)
+        rebuilt = [first]
+        for d in diffs:
+            rebuilt.append(decoder.push(d))
+        for got, want in zip(rebuilt, dtdg.snapshots):
+            assert got == want
+
+    def test_encode_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            encode_sequence([])
+
+
+class TestSequenceTransferStats:
+    def test_low_churn_saves_bytes(self):
+        dtdg = evolving_dtdg(40, 10, 80, churn=0.1, seed=3)
+        stats = sequence_transfer_stats(dtdg.snapshots)
+        assert stats.gd_nbytes < stats.naive_nbytes
+        assert stats.savings_ratio > 1.5
+
+    def test_high_churn_saves_little(self):
+        low = sequence_transfer_stats(
+            evolving_dtdg(40, 10, 80, churn=0.05, seed=4).snapshots)
+        high = sequence_transfer_stats(
+            evolving_dtdg(40, 10, 80, churn=0.9, seed=4).snapshots)
+        assert low.savings_ratio > high.savings_ratio
+
+    def test_chunking_reduces_benefit(self):
+        # smaller chunks = more naive first-snapshots = fewer GD wins,
+        # the (bsize - P)/bsize effect of paper §6.2
+        snaps = evolving_dtdg(40, 16, 80, churn=0.1, seed=5).snapshots
+        whole = sequence_transfer_stats(snaps, chunk=16)
+        quarters = sequence_transfer_stats(snaps, chunk=4)
+        assert whole.savings_ratio > quarters.savings_ratio
+        assert quarters.num_full == 4
+
+    def test_single_snapshot(self):
+        snaps = evolving_dtdg(20, 1, 30, churn=0.5, seed=6).snapshots
+        stats = sequence_transfer_stats(snaps)
+        assert stats.gd_nbytes == stats.naive_nbytes
+        assert stats.num_diffs == 0
+
+    def test_bad_chunk(self):
+        snaps = evolving_dtdg(20, 4, 30, churn=0.5, seed=7).snapshots
+        with pytest.raises(DatasetError):
+            sequence_transfer_stats(snaps, chunk=0)

@@ -1,0 +1,108 @@
+"""Tests for the DTDG container and the normalized Laplacian."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import DTDG, GraphSnapshot, normalized_laplacian
+
+
+def snap(n, pairs):
+    return GraphSnapshot(n, np.array(pairs, dtype=np.int64).reshape(-1, 2))
+
+
+class TestDTDG:
+    def test_basic(self):
+        d = DTDG([snap(3, [[0, 1]]), snap(3, [[1, 2]])], name="x")
+        assert d.num_vertices == 3
+        assert d.num_timesteps == 2
+        assert d.total_nnz == 2
+        assert len(d) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            DTDG([])
+
+    def test_vertex_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            DTDG([snap(3, [[0, 1]]), snap(4, [[1, 2]])])
+
+    def test_iter_getitem(self):
+        snaps = [snap(3, [[0, 1]]), snap(3, [[1, 2]])]
+        d = DTDG(snaps)
+        assert list(d) == snaps
+        assert d[1] is snaps[1]
+
+    def test_features_validation(self):
+        d = DTDG([snap(3, [[0, 1]]), snap(3, [[1, 2]])])
+        with pytest.raises(DatasetError):
+            d.set_features([np.zeros((3, 2))])  # wrong count
+        with pytest.raises(DatasetError):
+            d.set_features([np.zeros((4, 2)), np.zeros((4, 2))])  # wrong N
+        with pytest.raises(DatasetError):
+            d.set_features([np.zeros((3, 2)), np.zeros((3, 3))])  # ragged F
+        d.set_features([np.zeros((3, 2)), np.zeros((3, 2))])
+        assert d.feature_dim == 2
+
+    def test_feature_dim_requires_features(self):
+        d = DTDG([snap(3, [[0, 1]])])
+        with pytest.raises(DatasetError):
+            _ = d.feature_dim
+
+    def test_slice_time(self):
+        snaps = [snap(3, [[0, i % 3]]) for i in range(1, 5)]
+        d = DTDG(snaps, [np.full((3, 1), float(i)) for i in range(4)])
+        sliced = d.slice_time(1, 3)
+        assert sliced.num_timesteps == 2
+        assert sliced.snapshots[0] is snaps[1]
+        assert sliced.features[0][0, 0] == 1.0
+
+    def test_stats(self):
+        d = DTDG([snap(3, [[0, 1], [1, 2]]), snap(3, [[0, 1]])], name="s")
+        stats = d.stats()
+        assert stats.name == "s"
+        assert stats.total_nnz == 3
+        assert 0.0 < stats.mean_overlap <= 1.0
+        assert len(stats.row()) == 5
+
+    def test_mean_overlap_single_snapshot(self):
+        d = DTDG([snap(3, [[0, 1]])])
+        assert d.mean_topology_overlap() == 1.0
+
+
+class TestNormalizedLaplacian:
+    def test_empty_graph_is_identity_normalized(self):
+        s = GraphSnapshot(3, np.empty((0, 2), dtype=np.int64))
+        lap = normalized_laplacian(s).csr.toarray()
+        np.testing.assert_allclose(lap, np.eye(3))
+
+    def test_symmetric_pair(self):
+        # undirected edge 0<->1 plus isolated vertex 2
+        s = snap(3, [[0, 1], [1, 0]])
+        lap = normalized_laplacian(s).csr.toarray()
+        # deg(0)=deg(1)=1 -> weight 1/sqrt(2*2) = 0.5 everywhere in block
+        np.testing.assert_allclose(lap[:2, :2], np.full((2, 2), 0.5))
+        np.testing.assert_allclose(lap[2, 2], 1.0)
+
+    def test_rows_bounded(self):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 20, size=(60, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        s = GraphSnapshot(20, edges)
+        lap = normalized_laplacian(s).csr
+        assert np.isfinite(lap.data).all()
+        # spectral norm of the normalized operator stays O(1)
+        assert abs(lap).sum(axis=1).max() < 2.5
+
+    def test_values_respect_edge_weights(self):
+        weighted = GraphSnapshot(2, [[0, 1]], values=[4.0])
+        unweighted = GraphSnapshot(2, [[0, 1]], values=[1.0])
+        lw = normalized_laplacian(weighted).csr.toarray()
+        lu = normalized_laplacian(unweighted).csr.toarray()
+        assert lw[0, 1] == pytest.approx(4 * lu[0, 1])
+
+    def test_isolated_vertices_untouched(self):
+        s = snap(5, [[0, 1]])
+        lap = normalized_laplacian(s).csr.toarray()
+        for v in (2, 3, 4):
+            np.testing.assert_allclose(lap[v, v], 1.0)

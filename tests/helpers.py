@@ -1,0 +1,44 @@
+"""Shared test utilities: numerical gradient checking and tolerances."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_grad(fn: Callable[[], Tensor], tensor: Tensor,
+                 eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn().item()
+        flat[i] = orig - eps
+        down = fn().item()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
+                    rtol: float = 1e-5, atol: float = 1e-7) -> None:
+    """Assert autograd gradients of scalar ``fn()`` match finite differences.
+
+    ``fn`` must rebuild the graph from the given leaf tensors on each call.
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = fn()
+    out.backward()
+    for idx, t in enumerate(tensors):
+        assert t.grad is not None, f"tensor {idx} received no gradient"
+        num = numeric_grad(fn, t)
+        np.testing.assert_allclose(
+            t.grad, num, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for tensor {idx}")

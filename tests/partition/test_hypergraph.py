@@ -1,0 +1,142 @@
+"""Tests for the multilevel hypergraph partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PartitionError
+from repro.graph import evolving_dtdg
+from repro.partition import (Hypergraph, build_gcn_hypergraph,
+                             connectivity_cost, partition_hypergraph)
+
+
+def two_cliques_hypergraph():
+    """Two dense 8-cell communities bridged by one net — the canonical
+    easy instance: a good partitioner cuts only the bridge."""
+    nets = []
+    for base in (0, 8):
+        for i in range(8):
+            for j in range(i + 1, 8):
+                nets.append(np.array([base + i, base + j]))
+    nets.append(np.array([0, 8]))  # bridge
+    return Hypergraph(16, nets)
+
+
+class TestHypergraphModel:
+    def test_construction_defaults(self):
+        hg = Hypergraph(4, [np.array([0, 1]), np.array([1, 2, 3])])
+        assert hg.num_nets == 2
+        assert hg.pins() == 5
+        np.testing.assert_array_equal(hg.net_weights, [1.0, 1.0])
+
+    def test_weight_length_validation(self):
+        with pytest.raises(PartitionError):
+            Hypergraph(3, [np.array([0, 1])], net_weights=np.ones(2))
+        with pytest.raises(PartitionError):
+            Hypergraph(3, [np.array([0, 1])], cell_weights=np.ones(2))
+
+    def test_cell_to_nets(self):
+        hg = Hypergraph(3, [np.array([0, 1]), np.array([1, 2])])
+        inc = hg.cell_to_nets()
+        assert inc[0] == [0] and inc[1] == [0, 1] and inc[2] == [1]
+
+    def test_connectivity_cost(self):
+        hg = Hypergraph(4, [np.array([0, 1]), np.array([2, 3]),
+                            np.array([0, 3])])
+        parts = np.array([0, 0, 1, 1])
+        # nets 0 and 1 internal (λ=1), net 2 spans both (λ=2)
+        assert connectivity_cost(hg, parts) == 1.0
+
+    def test_connectivity_cost_weighted(self):
+        hg = Hypergraph(2, [np.array([0, 1])], net_weights=np.array([5.0]))
+        assert connectivity_cost(hg, np.array([0, 1])) == 5.0
+        assert connectivity_cost(hg, np.array([0, 0])) == 0.0
+
+
+class TestBuildGCNHypergraph:
+    def test_nets_are_column_supports(self):
+        dtdg = evolving_dtdg(30, 4, 60, churn=0.2, seed=0)
+        hg = build_gcn_hypergraph(dtdg)
+        assert hg.num_cells == 30
+        # every net contains at least 2 cells (v plus a neighbor)
+        for net in hg.nets:
+            assert len(net) >= 2
+
+    def test_net_contains_vertex_and_in_edges(self):
+        from repro.graph import DTDG, GraphSnapshot
+        snap = GraphSnapshot(5, [[0, 2], [1, 2], [3, 4]])
+        hg = build_gcn_hypergraph(DTDG([snap]))
+        as_sets = [set(n.tolist()) for n in hg.nets]
+        assert {0, 1, 2} in as_sets   # column 2 support
+        assert {3, 4} in as_sets      # column 4 support
+
+
+class TestPartitionHypergraph:
+    def test_two_communities_clean_cut(self):
+        hg = two_cliques_hypergraph()
+        parts = partition_hypergraph(hg, 2, seed=0)
+        # balanced
+        sizes = np.bincount(parts, minlength=2)
+        assert abs(int(sizes[0]) - int(sizes[1])) <= 2
+        # only the bridge net should be cut
+        assert connectivity_cost(hg, parts) <= 3.0
+
+    def test_single_part_trivial(self):
+        hg = two_cliques_hypergraph()
+        parts = partition_hypergraph(hg, 1)
+        assert (parts == 0).all()
+
+    def test_invalid_num_parts(self):
+        hg = two_cliques_hypergraph()
+        with pytest.raises(PartitionError):
+            partition_hypergraph(hg, 0)
+        with pytest.raises(PartitionError):
+            partition_hypergraph(hg, 17)
+
+    def test_balance_respected(self):
+        dtdg = evolving_dtdg(120, 4, 400, churn=0.3, seed=1, skew=1.2)
+        hg = build_gcn_hypergraph(dtdg)
+        for p in (2, 4):
+            parts = partition_hypergraph(hg, p, balance_eps=0.1, seed=0)
+            loads = np.zeros(p)
+            np.add.at(loads, parts, hg.cell_weights)
+            assert loads.max() <= (1.12) * hg.cell_weights.sum() / p \
+                + hg.cell_weights.max()
+
+    def test_beats_random_partition(self):
+        dtdg = evolving_dtdg(150, 4, 500, churn=0.3, seed=2, skew=1.0)
+        hg = build_gcn_hypergraph(dtdg)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, size=hg.num_cells)
+        smart_parts = partition_hypergraph(hg, 4, seed=0)
+        assert connectivity_cost(hg, smart_parts) < \
+            connectivity_cost(hg, random_parts)
+
+    def test_volume_grows_with_parts(self):
+        # the paper's core observation about vertex partitioning (§4.1)
+        dtdg = evolving_dtdg(150, 4, 500, churn=0.3, seed=3, skew=1.0)
+        hg = build_gcn_hypergraph(dtdg)
+        costs = [connectivity_cost(hg, partition_hypergraph(hg, p, seed=0))
+                 for p in (2, 4, 8)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_deterministic_given_seed(self):
+        hg = two_cliques_hypergraph()
+        a = partition_hypergraph(hg, 2, seed=5)
+        b = partition_hypergraph(hg, 2, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_parts_used(self):
+        dtdg = evolving_dtdg(100, 3, 300, churn=0.4, seed=4)
+        hg = build_gcn_hypergraph(dtdg)
+        parts = partition_hypergraph(hg, 4, seed=0)
+        assert set(np.unique(parts)) == {0, 1, 2, 3}
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_partition_always_valid(self, p):
+        dtdg = evolving_dtdg(60, 3, 150, churn=0.5, seed=p)
+        hg = build_gcn_hypergraph(dtdg)
+        parts = partition_hypergraph(hg, p, seed=p)
+        assert parts.shape == (hg.num_cells,)
+        assert parts.min() >= 0 and parts.max() < p

@@ -1,0 +1,128 @@
+"""Tests for SparseMatrix and the differentiable spmm kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+from repro.tensor.sparse import INDEX_BYTES, VALUE_BYTES, SparseMatrix, spmm
+from tests.helpers import check_gradients
+
+
+def random_sparse(n, m, density=0.3, seed=0):
+    return SparseMatrix(sp.random(n, m, density=density, random_state=seed,
+                                  dtype=np.float64))
+
+
+class TestSparseMatrix:
+    def test_from_dense(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        s = SparseMatrix(dense)
+        assert s.nnz == 2
+        assert s.shape == (2, 2)
+
+    def test_from_scipy_coo(self):
+        coo = sp.coo_matrix(([1.0], ([0], [1])), shape=(2, 2))
+        s = SparseMatrix(coo)
+        assert s.csr.format == "csr"
+
+    def test_duplicates_summed(self):
+        coo = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        s = SparseMatrix(coo)
+        assert s.nnz == 1
+        assert s.csr[0, 1] == 3.0
+
+    def test_wrap_sparsematrix(self):
+        s = random_sparse(3, 3)
+        s2 = SparseMatrix(s)
+        assert s2.csr is s.csr
+
+    def test_transpose(self):
+        s = random_sparse(3, 5, seed=2)
+        st_ = s.T
+        assert st_.shape == (5, 3)
+        np.testing.assert_allclose(st_.csr.toarray(), s.csr.toarray().T)
+
+    def test_coo_edges_sorted_lexicographically(self):
+        edges = np.array([[2, 1], [0, 3], [0, 1], [2, 0]])
+        s = SparseMatrix.from_edges(edges, None, (4, 4))
+        out = s.coo_edges()
+        assert (np.lexsort((out[:, 1], out[:, 0])) == np.arange(len(out))).all()
+        assert set(map(tuple, out)) == set(map(tuple, edges))
+
+    def test_values_sorted_alignment(self):
+        edges = np.array([[1, 0], [0, 2]])
+        vals = np.array([7.0, 5.0])
+        s = SparseMatrix.from_edges(edges, vals, (3, 3))
+        e = s.coo_edges()
+        v = s.values_sorted()
+        # first sorted edge is (0,2) -> 5.0, then (1,0) -> 7.0
+        np.testing.assert_array_equal(e, [[0, 2], [1, 0]])
+        np.testing.assert_array_equal(v, [5.0, 7.0])
+
+    def test_byte_accounting(self):
+        s = random_sparse(10, 10, density=0.2, seed=3)
+        assert s.index_nbytes == 2 * INDEX_BYTES * s.nnz
+        assert s.value_nbytes == VALUE_BYTES * s.nnz
+        assert s.nbytes == s.index_nbytes + s.value_nbytes
+
+    def test_from_edges_default_values(self):
+        edges = np.array([[0, 1], [1, 2]])
+        s = SparseMatrix.from_edges(edges, None, (3, 3))
+        np.testing.assert_array_equal(s.values_sorted(), [1.0, 1.0])
+
+    def test_matmul_dense(self):
+        s = random_sparse(4, 4, seed=5)
+        x = np.ones((4, 2))
+        np.testing.assert_allclose(s.matmul_dense(x), s.csr @ x)
+
+
+class TestSpMM:
+    def test_forward_matches_scipy(self):
+        s = random_sparse(6, 4, seed=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        out = spmm(s, x)
+        np.testing.assert_allclose(out.data, s.csr @ x.data)
+
+    def test_gradient(self):
+        s = random_sparse(5, 5, density=0.4, seed=7)
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 2)),
+                   requires_grad=True)
+        check_gradients(lambda: spmm(s, x).sum(), [x])
+
+    def test_gradient_weighted_output(self):
+        s = random_sparse(5, 5, density=0.4, seed=9)
+        w = np.random.default_rng(2).normal(size=(5, 2))
+        x = Tensor(np.random.default_rng(3).normal(size=(5, 2)),
+                   requires_grad=True)
+        check_gradients(lambda: (spmm(s, x) * w).sum(), [x])
+
+    def test_shape_mismatch(self):
+        s = random_sparse(3, 4)
+        with pytest.raises(ShapeError):
+            spmm(s, Tensor(np.zeros((3, 2))))
+
+    def test_requires_2d(self):
+        s = random_sparse(3, 3)
+        with pytest.raises(ShapeError):
+            spmm(s, Tensor(np.zeros(3)))
+
+    @given(st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_spmm_is_identity(self, n, f):
+        s = SparseMatrix(sp.eye(n, format="csr"))
+        x = Tensor(np.random.default_rng(n * 10 + f).normal(size=(n, f)))
+        np.testing.assert_allclose(spmm(s, x).data, x.data)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_spmm_linearity(self, n):
+        s = random_sparse(n, n, density=0.5, seed=n)
+        g = np.random.default_rng(n)
+        x = Tensor(g.normal(size=(n, 2)))
+        y = Tensor(g.normal(size=(n, 2)))
+        left = spmm(s, x + y).data
+        right = (spmm(s, x) + spmm(s, y)).data
+        np.testing.assert_allclose(left, right, atol=1e-12)
