@@ -17,9 +17,14 @@ Subpackages
     GCN/LSTM/M-product blocks and the CD-GCN, EvolveGCN, TM-GCN models.
 ``repro.train``
     Smoothing pre-processing, timeline gradient checkpointing, tasks,
-    single-device and distributed trainers.
+    single-device and distributed trainers, model checkpoint save/load.
+``repro.serve``
+    Streaming inference: live edge-event ingestion via graph-difference
+    deltas, a k-hop-invalidated embedding cache, and a micro-batching
+    model server for link-prediction and fraud-score queries.
 ``repro.bench``
-    Harness that regenerates every table and figure of the paper.
+    Harness that regenerates every table and figure of the paper, plus
+    the serving replay workload.
 """
 
 __version__ = "1.0.0"

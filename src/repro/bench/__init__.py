@@ -8,6 +8,9 @@ from repro.bench.workloads import (BENCH_SCALE, DATASET_NAMES, GPU_COUNTS,
                                    MODEL_LABELS, bench_dtdg,
                                    calibrated_overrides, hardware_scale,
                                    raw_bench_dtdg)
+from repro.bench.serving import (ServingBenchResult, ServingWorkloadConfig,
+                                 build_event_schedule, replay_stream,
+                                 run_serving_benchmark)
 
 __all__ = [
     "PointSpec", "run_point", "speedup_series", "cached_point",
@@ -15,4 +18,6 @@ __all__ = [
     "GPU_COUNTS", "DATASET_NAMES", "MODEL_LABELS", "BENCH_SCALE",
     "bench_dtdg", "raw_bench_dtdg", "hardware_scale",
     "calibrated_overrides",
+    "ServingWorkloadConfig", "ServingBenchResult", "build_event_schedule",
+    "replay_stream", "run_serving_benchmark",
 ]

@@ -10,9 +10,19 @@ from repro.models.cdgcn import CDGCN
 from repro.models.evolvegcn import EvolveGCN
 from repro.models.tmgcn import TMGCN
 
-__all__ = ["MODEL_NAMES", "build_model"]
+__all__ = ["MODEL_NAMES", "build_model", "resolve_model_name"]
 
 MODEL_NAMES = ("tmgcn", "cdgcn", "egcn")
+_ALIASES = {"evolvegcn": "egcn"}
+
+
+def resolve_model_name(name: str) -> str:
+    """Canonical registry name for ``name`` (aliases resolved)."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in MODEL_NAMES:
+        raise ConfigError(f"unknown model {name!r}; expected one of "
+                          f"{MODEL_NAMES}")
+    return canonical
 
 
 def build_model(name: str, in_features: int = 2, hidden: int = 6,
@@ -24,14 +34,12 @@ def build_model(name: str, in_features: int = 2, hidden: int = 6,
     degree (F=2) as input features for every configuration (§6.1).
     """
     rng = np.random.default_rng(seed)
+    name = resolve_model_name(name)
     if name == "tmgcn":
         return TMGCN(in_features, hidden, embed_dim, num_layers,
                      rng=rng, **kwargs)
     if name == "cdgcn":
         return CDGCN(in_features, hidden, embed_dim, num_layers,
                      rng=rng, **kwargs)
-    if name in ("egcn", "evolvegcn"):
-        return EvolveGCN(in_features, hidden, embed_dim, num_layers,
-                         rng=rng, **kwargs)
-    raise ConfigError(f"unknown model {name!r}; expected one of "
-                      f"{MODEL_NAMES}")
+    return EvolveGCN(in_features, hidden, embed_dim, num_layers,
+                     rng=rng, **kwargs)

@@ -1,0 +1,171 @@
+"""Per-vertex model-state cache with k-hop invalidation.
+
+The serving engine keeps, for every vertex, the outputs of each GCN
+layer plus the temporal carries (LSTM ``(h, c)`` rows, M-product history
+frames) that scoring at the current timestep depends on.  When a batch
+of edge events lands, only vertices whose rows can actually have changed
+need recomputation.  The reach of a delta is bounded by the network
+depth: with degree features, an edge touching vertex set ``D₀`` perturbs
+
+* the feature rows of ``D₀`` only,
+* layer-ℓ outputs of vertices within ℓ hops of ``D₀`` (each GCN layer
+  reads one ring of neighbors, and the Laplacian's degree normalization
+  reaches the same ring),
+
+so invalidating the ``k = num_layers`` hop neighborhood of the touched
+endpoints is sufficient for exact (not approximate) incremental
+inference — the ReInc/InstantGNN observation mapped onto this codebase's
+snapshot machinery.  Expansion only needs the *new* topology: an edge
+present solely in the old snapshot was removed, so both its endpoints
+are already seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["EmbeddingCache", "expand_dirty", "sorted_row_gather"]
+
+
+def sorted_row_gather(sorted_keys: np.ndarray,
+                      rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of every ``sorted_keys`` entry belonging to ``rows``.
+
+    ``sorted_keys`` is a sorted int array (e.g. the src column of a
+    canonical edge array); returns ``(indices, row_of)`` where
+    ``sorted_keys[indices[i]] == rows[row_of[i]]`` — the vectorized
+    slice-gather shared by the partial aggregation and the BFS below.
+    """
+    lo = np.searchsorted(sorted_keys, rows, side="left")
+    hi = np.searchsorted(sorted_keys, rows, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
+                                           counts)
+    row_of = np.repeat(np.arange(len(rows)), counts)
+    return starts + offsets, row_of
+
+
+def expand_dirty(snapshot: GraphSnapshot, seeds: np.ndarray,
+                 hops: int) -> np.ndarray:
+    """Vertices within ``hops`` undirected hops of ``seeds``.
+
+    Runs a vectorized frontier BFS over the snapshot's canonical edge
+    array; returns a sorted unique vertex array including the seeds.
+    The canonical array is already src-sorted, so only the reverse
+    (dst-sorted) view costs a sort per invalidation.
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if hops <= 0 or len(seeds) == 0 or snapshot.num_edges == 0:
+        return seeds
+    edges = snapshot.edges
+    src_sorted = edges[:, 0]  # canonical order is lexsorted by src
+    dst_order = np.argsort(edges[:, 1], kind="stable")
+    dst_sorted = edges[dst_order, 1]
+    dst_to_src = edges[dst_order, 0]
+    visited = seeds
+    frontier = seeds
+    for _ in range(hops):
+        out_idx, _ = sorted_row_gather(src_sorted, frontier)
+        in_idx, _ = sorted_row_gather(dst_sorted, frontier)
+        if len(out_idx) == 0 and len(in_idx) == 0:
+            break
+        neighbors = np.unique(np.concatenate([edges[out_idx, 1],
+                                              dst_to_src[in_idx]]))
+        frontier = np.setdiff1d(neighbors, visited, assume_unique=True)
+        if len(frontier) == 0:
+            break
+        visited = np.union1d(visited, frontier)
+    return visited
+
+
+class EmbeddingCache:
+    """Holds per-vertex layer outputs/carries and the pending dirty set.
+
+    The cache itself is storage plus invalidation bookkeeping; the
+    :class:`~repro.serve.engine.InferenceEngine` reads and writes the
+    arrays.  Layout:
+
+    ``features``
+        ``(N, F)`` input feature rows (in/out degrees of the resident
+        snapshot).
+    ``layer_outputs``
+        One ``(N, dim_ℓ)`` array per layer — the post-RNN output ``z_ℓ``
+        that feeds layer ``ℓ+1`` (the last one is the served embedding).
+    ``pre_carry`` / ``post_carry``
+        Temporal state per layer *entering* the current timestep (frozen
+        while events stream in) and *leaving* it (what the next
+        ``advance`` promotes).  Structure is model-kind specific and
+        owned by the engine.
+    """
+
+    def __init__(self, num_vertices: int, num_layers: int,
+                 k_hops: int | None = None) -> None:
+        if num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        k = num_layers if k_hops is None else k_hops
+        if k < num_layers:
+            raise ConfigError(
+                f"k_hops={k} below num_layers={num_layers} would serve "
+                f"stale rows; exactness needs k >= depth")
+        self.num_vertices = num_vertices
+        self.num_layers = num_layers
+        self.k_hops = k
+        self.features: np.ndarray | None = None
+        self.layer_outputs: list[np.ndarray] = []
+        self.pre_carry: list = []
+        self.post_carry: list = []
+        self._dirty: np.ndarray = np.arange(num_vertices, dtype=np.int64)
+        self.invalidations = 0
+        self.rows_invalidated = 0
+
+    # -- dirty tracking ------------------------------------------------------------
+    @property
+    def dirty(self) -> np.ndarray:
+        return self._dirty
+
+    @property
+    def num_dirty(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def all_dirty(self) -> bool:
+        return len(self._dirty) == self.num_vertices
+
+    def invalidate(self, snapshot: GraphSnapshot,
+                   seeds: np.ndarray) -> np.ndarray:
+        """Mark the k-hop neighborhood of ``seeds`` stale; returns the
+        newly computed dirty set (cumulative until :meth:`clean`)."""
+        if self.all_dirty:
+            return self._dirty
+        region = expand_dirty(snapshot, seeds, self.k_hops)
+        self._dirty = np.union1d(self._dirty, region)
+        self.invalidations += 1
+        self.rows_invalidated += len(region)
+        return self._dirty
+
+    def invalidate_all(self) -> None:
+        self._dirty = np.arange(self.num_vertices, dtype=np.int64)
+        self.invalidations += 1
+        self.rows_invalidated += self.num_vertices
+
+    def clean(self) -> np.ndarray:
+        """Consume the dirty set (the engine recomputed those rows)."""
+        out = self._dirty
+        self._dirty = np.empty(0, dtype=np.int64)
+        return out
+
+    # -- embeddings ----------------------------------------------------------------
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The served per-vertex embedding matrix (last layer output)."""
+        if not self.layer_outputs:
+            raise ConfigError("cache not primed: run an engine step first")
+        return self.layer_outputs[-1]

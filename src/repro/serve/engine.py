@@ -1,0 +1,346 @@
+"""Incremental inference engine over a resident dynamic graph.
+
+The engine evaluates a trained :class:`~repro.models.base.DynamicGNN`
+in plain numpy (inference needs no tape) against the snapshot held by
+the serving tier, with two entry points:
+
+``advance()``
+    A *timestep boundary*: temporal state moves forward one step — LSTM
+    states advance for every vertex, EvolveGCN weights evolve once, the
+    M-product history shifts — and every row is recomputed.  This is the
+    periodic resync a production tier runs at window boundaries.
+
+``refresh()``
+    An *intra-step* update: edge events changed the resident graph, the
+    temporal carry is frozen, and only the rows marked dirty by the
+    :class:`~repro.serve.cache.EmbeddingCache` (the k-hop neighborhood
+    of the touched endpoints) are recomputed.  Because embeddings at a
+    fixed timestep are a pure function of (frozen carry, current graph),
+    the refreshed rows are *numerically identical* to a full recompute —
+    incremental serving trades no accuracy.
+
+Partial aggregation exploits the canonical (src-sorted) edge layout of
+:class:`~repro.graph.snapshot.GraphSnapshot`: the dirty rows' slices of
+``Ã·X`` are gathered with ``searchsorted`` + scatter-add instead of a
+full SpMM.
+
+.. note::
+   The engine evaluates the model on the **raw** event stream.  CD-GCN
+   trains on raw snapshots (§5.1), so it is served exactly as trained.
+   TM-GCN and EvolveGCN are conventionally trained on *smoothed* inputs
+   (M-product / edge-life, §5.4); to serve those faithfully, train them
+   on raw snapshots — the engine stays numerically exact w.r.t. its
+   input stream either way, but it does not re-apply training-side
+   smoothing to live events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.laplacian import normalized_laplacian
+from repro.graph.snapshot import GraphSnapshot
+from repro.models.base import DynamicGNN
+from repro.models.cdgcn import CDGCN
+from repro.models.evolvegcn import EvolveGCN
+from repro.models.tmgcn import TMGCN
+from repro.serve.cache import EmbeddingCache, sorted_row_gather
+
+__all__ = ["InferenceEngine"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@dataclass
+class _Layer:
+    """Numpy view of one model layer's parameters."""
+
+    gcn_weight: np.ndarray
+    skip_concat: bool
+    out_dim: int
+    # LSTM part (CD-GCN only)
+    w_ih: np.ndarray | None = None
+    w_hh: np.ndarray | None = None
+    lstm_bias: np.ndarray | None = None
+    hidden: int = 0
+
+
+class InferenceEngine:
+    """Evaluates a dynamic GNN incrementally against a resident snapshot.
+
+    Parameters
+    ----------
+    model:
+        A (trained) CD-GCN, EvolveGCN or TM-GCN instance.  Parameters
+        are referenced, not copied — serving always sees current weights.
+    snapshot:
+        The initial resident graph.
+    k_hops:
+        Invalidation radius; defaults to ``model.num_layers`` (the
+        minimum that keeps incremental inference exact).
+    """
+
+    def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot,
+                 k_hops: int | None = None) -> None:
+        if model.in_features != 2:
+            raise ConfigError(
+                "serving computes in/out-degree features from the event "
+                f"stream (F=2); model expects F={model.in_features}")
+        self.model = model
+        self.kind = self._detect_kind(model)
+        self.layers = self._extract_layers(model)
+        self.cache = EmbeddingCache(snapshot.num_vertices,
+                                    model.num_layers, k_hops)
+        self.steps = 0
+        self._primed = False
+        self._resident: GraphSnapshot | None = None
+        self._laplacian = None
+        # temporal state that is not per-vertex
+        self._weight_state: list[tuple[np.ndarray, np.ndarray]] = []
+        self._current_weights: list[np.ndarray] = []
+        self._history: list[list[np.ndarray]] = []
+        self._current_y: list[np.ndarray | None] = []
+        self._init_carries(snapshot.num_vertices)
+        self.set_snapshot(snapshot, seeds=None)
+
+    # -- model introspection -----------------------------------------------------
+    @staticmethod
+    def _detect_kind(model: DynamicGNN) -> str:
+        if isinstance(model, CDGCN):
+            return "cdgcn"
+        if isinstance(model, EvolveGCN):
+            return "egcn"
+        if isinstance(model, TMGCN):
+            return "tmgcn"
+        raise ConfigError(
+            f"unsupported model type {type(model).__name__}; the serving "
+            f"engine knows CD-GCN, EvolveGCN and TM-GCN")
+
+    def _extract_layers(self, model: DynamicGNN) -> list[_Layer]:
+        layers = []
+        for idx in range(model.num_layers):
+            gcn = model.gcn_layer(idx)
+            if gcn.activation != "relu":
+                raise ConfigError("serving engine expects ReLU GCN layers")
+            layer = _Layer(gcn_weight=gcn.weight.data,
+                           skip_concat=gcn.skip_concat,
+                           out_dim=gcn.output_dim)
+            if self.kind == "cdgcn":
+                lstm = model.lstm_layer(idx)
+                layer.w_ih = lstm.w_ih.data
+                layer.w_hh = lstm.w_hh.data
+                layer.lstm_bias = lstm.bias.data
+                layer.hidden = lstm.hidden_size
+                layer.out_dim = lstm.hidden_size
+            layers.append(layer)
+        return layers
+
+    def _init_carries(self, n: int) -> None:
+        cache = self.cache
+        if self.kind == "cdgcn":
+            for layer in self.layers:
+                cache.pre_carry.append(
+                    (np.zeros((n, layer.hidden)), np.zeros((n, layer.hidden))))
+                cache.post_carry.append(
+                    (np.zeros((n, layer.hidden)), np.zeros((n, layer.hidden))))
+        elif self.kind == "egcn":
+            for idx in range(self.model.num_layers):
+                base = self.model.gcn_layer(idx).weight.data
+                self._weight_state.append((base.copy(),
+                                           np.zeros_like(base)))
+                self._current_weights.append(base.copy())
+        else:  # tmgcn
+            self.window = self.model.window
+            for layer in self.layers:
+                self._history.append([])
+                self._current_y.append(None)
+        cache.layer_outputs = [np.zeros((n, layer.out_dim))
+                               for layer in self.layers]
+
+    # -- resident graph ------------------------------------------------------------
+    @property
+    def resident(self) -> GraphSnapshot:
+        return self._resident
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Served per-vertex embeddings for the current (step, graph)."""
+        return self.cache.embeddings
+
+    def set_snapshot(self, snapshot: GraphSnapshot,
+                     seeds: np.ndarray | None) -> None:
+        """Install a new resident snapshot.
+
+        ``seeds`` are the vertices incident to changed edges (the
+        ingestor's dirty frontier); ``None`` invalidates everything
+        (initial install or an untracked graph swap).
+        """
+        if self._resident is not None and \
+                snapshot.num_vertices != self._resident.num_vertices:
+            raise ConfigError("resident vertex set must stay fixed")
+        self._resident = snapshot
+        self._laplacian = None  # rebuilt lazily by the full path
+        # degree features and Laplacian normalization follow the graph
+        in_deg = snapshot.in_degrees()
+        out_deg = snapshot.out_degrees()
+        self.cache.features = np.stack([in_deg, out_deg], axis=1)
+        neighbors = np.maximum(out_deg, in_deg)
+        self._dinv = 1.0 / np.sqrt(1.0 + neighbors)
+        if seeds is None:
+            self.cache.invalidate_all()
+        elif len(seeds):
+            self.cache.invalidate(snapshot, seeds)
+
+    # -- stepping ---------------------------------------------------------------------
+    def advance(self, snapshot: GraphSnapshot | None = None) -> np.ndarray:
+        """Move the timeline one step forward and recompute every row."""
+        if snapshot is not None:
+            self.set_snapshot(snapshot, seeds=None)
+        if self._primed:
+            self._promote_carries()
+        if self.kind == "egcn":
+            self._evolve_weights()
+        self.cache.invalidate_all()
+        self.cache.clean()
+        self._compute(None)
+        self._primed = True
+        self.steps += 1
+        return self.embeddings
+
+    def refresh(self) -> int:
+        """Recompute the dirty rows (frozen carry); returns row count."""
+        if not self._primed:
+            raise ConfigError("advance() must run once before refresh()")
+        rows = self.cache.clean()
+        if len(rows) == 0:
+            return 0
+        if len(rows) == self.cache.num_vertices:
+            self._compute(None)
+        else:
+            self._compute(rows)
+        return len(rows)
+
+    # -- carry management ---------------------------------------------------------------
+    def _promote_carries(self) -> None:
+        cache = self.cache
+        if self.kind == "cdgcn":
+            cache.pre_carry = cache.post_carry
+            cache.post_carry = [(np.empty_like(h), np.empty_like(c))
+                                for h, c in cache.pre_carry]
+        elif self.kind == "tmgcn":
+            keep = self.window - 1
+            for idx in range(len(self.layers)):
+                if keep > 0:
+                    self._history[idx].append(self._current_y[idx])
+                    self._history[idx] = self._history[idx][-keep:]
+                self._current_y[idx] = None
+
+    def _evolve_weights(self) -> None:
+        """One weight-LSTM step per layer (EvolveGCN's recurrence)."""
+        for idx in range(self.model.num_layers):
+            cell = self.model.evolver(idx).cell
+            h_prev, c_prev = self._weight_state[idx]
+            gates = (h_prev @ cell.w_ih.data + h_prev @ cell.w_hh.data
+                     + cell.bias.data)
+            hs = cell.hidden_size
+            i = _sigmoid(gates[:, 0 * hs:1 * hs])
+            f = _sigmoid(gates[:, 1 * hs:2 * hs])
+            g = np.tanh(gates[:, 2 * hs:3 * hs])
+            o = _sigmoid(gates[:, 3 * hs:4 * hs])
+            c = f * c_prev + i * g
+            h = o * np.tanh(c)
+            self._weight_state[idx] = (h, c)
+            self._current_weights[idx] = h
+
+    # -- numerics -------------------------------------------------------------------------
+    def _aggregate(self, x: np.ndarray,
+                   rows: np.ndarray | None) -> np.ndarray:
+        """Rows of ``Ã·x`` for the resident snapshot.
+
+        ``rows=None`` runs the full SpMM through the cached Laplacian;
+        otherwise only the requested rows are gathered from the
+        src-sorted canonical edge array.
+        """
+        if rows is None:
+            if self._laplacian is None:
+                self._laplacian = normalized_laplacian(self._resident)
+            return self._laplacian.csr @ x
+        snap = self._resident
+        dinv = self._dinv
+        # the (A + I) diagonal contributes dinv[v]^2 * x[v]
+        agg = (dinv[rows] ** 2)[:, None] * x[rows]
+        edges = snap.edges
+        if len(edges):
+            # canonical edges are src-sorted: gather each row's slice
+            eidx, row_of = sorted_row_gather(edges[:, 0], rows)
+            if len(eidx):
+                dsts = edges[eidx, 1]
+                w = snap.values[eidx] * dinv[rows][row_of] * dinv[dsts]
+                np.add.at(agg, row_of, w[:, None] * x[dsts])
+        return agg
+
+    def _compute(self, rows: np.ndarray | None) -> None:
+        """(Re)compute model rows; ``rows=None`` means all vertices."""
+        cache = self.cache
+        x = cache.features
+        sel = slice(None) if rows is None else rows
+        for idx, layer in enumerate(self.layers):
+            agg = self._aggregate(x, rows)
+            if self.kind == "egcn":
+                y = np.maximum(agg @ self._current_weights[idx], 0.0)
+            elif layer.skip_concat:
+                proj = agg @ layer.gcn_weight
+                y = np.maximum(np.concatenate([agg, proj], axis=1), 0.0)
+            else:
+                y = np.maximum(agg @ layer.gcn_weight, 0.0)
+            out = self._temporal(idx, y, sel)
+            cache.layer_outputs[idx][sel] = out
+            x = cache.layer_outputs[idx]
+
+    def _temporal(self, idx: int, y: np.ndarray, sel) -> np.ndarray:
+        """Apply layer ``idx``'s RNN component to GCN rows ``y``."""
+        if self.kind == "cdgcn":
+            layer = self.layers[idx]
+            h_pre, c_pre = self.cache.pre_carry[idx]
+            gates = y @ layer.w_ih + h_pre[sel] @ layer.w_hh \
+                + layer.lstm_bias
+            hs = layer.hidden
+            i = _sigmoid(gates[:, 0 * hs:1 * hs])
+            f = _sigmoid(gates[:, 1 * hs:2 * hs])
+            g = np.tanh(gates[:, 2 * hs:3 * hs])
+            o = _sigmoid(gates[:, 3 * hs:4 * hs])
+            c = f * c_pre[sel] + i * g
+            h = o * np.tanh(c)
+            h_post, c_post = self.cache.post_carry[idx]
+            h_post[sel] = h
+            c_post[sel] = c
+            return h
+        if self.kind == "tmgcn":
+            if self._current_y[idx] is None:
+                self._current_y[idx] = np.zeros(
+                    (self.cache.num_vertices, y.shape[1]))
+            self._current_y[idx][sel] = y
+            active = (self._history[idx][-(self.window - 1):]
+                      if self.window > 1 else [])
+            scale = 1.0 / (len(active) + 1)
+            out = y * scale
+            for frame in active:
+                out = out + frame[sel] * scale
+            return out
+        return y  # egcn: no vertex-level recurrence
+
+
+    # -- bookkeeping -------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.cache.num_vertices

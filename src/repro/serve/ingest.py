@@ -1,0 +1,223 @@
+"""Live edge-event ingestion into a resident snapshot.
+
+:class:`StreamIngestor` is the front door of the serving subsystem: it
+accepts individual edge events (a payment, a new link, a retraction),
+buffers them, and on :meth:`commit` folds the pending batch into the
+resident :class:`~repro.graph.snapshot.GraphSnapshot` by building and
+applying a :class:`~repro.graph.diff.SnapshotDiff` — the same GD delta
+machinery the trainer uses for CPU→GPU transfer (paper §3.2), pointed at
+a new job: keeping a server's resident graph current.
+
+Alongside the snapshot the ingestor maintains the **dirty-vertex
+frontier**: every vertex incident to an edge that changed since the
+frontier was last consumed.  The embedding cache expands this seed set
+by k hops to decide which rows of the model state must be recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError, DatasetError
+from repro.graph.diff import SnapshotDiff, diff_snapshots
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["EdgeEvent", "IngestResult", "StreamIngestor", "events_between"]
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One live graph mutation.
+
+    ``op`` is ``"add"`` or ``"remove"``.  Adding an edge that already
+    exists accumulates its value (repeated transactions between the same
+    accounts add up, matching how AML-Sim snapshots merge duplicates);
+    removing an edge that is absent is a no-op.
+    """
+
+    src: int
+    dst: int
+    op: str = "add"
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("add", "remove"):
+            raise ConfigError(f"unknown edge-event op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one :meth:`StreamIngestor.commit`."""
+
+    snapshot: GraphSnapshot        # the new resident snapshot
+    diff: SnapshotDiff             # GD delta prev → new (wire format)
+    dirty: np.ndarray              # vertices incident to changed edges
+    num_events: int                # events folded by this commit
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Wire bytes the delta would cost under GD (§3.2 accounting)."""
+        return self.diff.payload_nbytes
+
+
+class StreamIngestor:
+    """Folds edge events into a resident snapshot via GD deltas.
+
+    Parameters
+    ----------
+    snapshot:
+        The initial resident graph (e.g. the last training snapshot).
+    """
+
+    def __init__(self, snapshot: GraphSnapshot) -> None:
+        self._resident = snapshot
+        self._pending: list[EdgeEvent] = []
+        self._frontier: set[int] = set()
+        self.total_events = 0
+        self.total_commits = 0
+        self.total_payload_nbytes = 0
+
+    # -- state ---------------------------------------------------------------------
+    @property
+    def resident(self) -> GraphSnapshot:
+        return self._resident
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def frontier(self) -> np.ndarray:
+        """Dirty vertices accumulated since :meth:`take_frontier`."""
+        return np.array(sorted(self._frontier), dtype=np.int64)
+
+    def take_frontier(self) -> np.ndarray:
+        """Return and clear the accumulated dirty-vertex frontier."""
+        out = self.frontier
+        self._frontier.clear()
+        return out
+
+    def rebase(self, snapshot: GraphSnapshot) -> None:
+        """Swap the resident snapshot wholesale (e.g. a periodic resync
+        from an authoritative store).  Pending events are kept and will
+        apply against the new base on the next commit."""
+        if snapshot.num_vertices != self._resident.num_vertices:
+            raise DatasetError("rebase must keep the vertex set fixed")
+        self._resident = snapshot
+
+    # -- event intake ----------------------------------------------------------------
+    def push(self, event: EdgeEvent) -> None:
+        n = self._resident.num_vertices
+        if not (0 <= event.src < n and 0 <= event.dst < n):
+            raise DatasetError(
+                f"event endpoint ({event.src}, {event.dst}) outside the "
+                f"resident vertex set of size {n}")
+        self._pending.append(event)
+
+    def push_batch(self, events: Iterable[EdgeEvent]) -> int:
+        count = 0
+        for event in events:
+            self.push(event)
+            count += 1
+        return count
+
+    # -- commit ------------------------------------------------------------------------
+    def commit(self) -> IngestResult:
+        """Fold every pending event into the resident snapshot.
+
+        The new snapshot is materialized, the transition is encoded as a
+        :class:`SnapshotDiff` (checksummed against the old resident, so
+        the wire format stays replayable to any mirror holding the same
+        base), and the dirty frontier absorbs the touched endpoints.
+        """
+        prev = self._resident
+        events = self._pending
+        self._pending = []
+        if not events:
+            empty = np.empty(0, dtype=np.int64)
+            diff = diff_snapshots(prev, prev)
+            return IngestResult(prev, diff, empty, 0)
+
+        n = prev.num_vertices
+        add_value: dict[tuple[int, int], float] = {}
+        removed: set[tuple[int, int]] = set()
+        touched: set[int] = set()
+        for event in events:
+            key = (int(event.src), int(event.dst))
+            touched.update(key)
+            if event.op == "add":
+                add_value[key] = add_value.get(key, 0.0) + event.value
+            else:
+                # a removal drops the base edge *and* any adds buffered
+                # so far; later adds start from a clean slate (this makes
+                # remove+add an exact value replacement)
+                add_value.pop(key, None)
+                removed.add(key)
+
+        keep = np.ones(prev.num_edges, dtype=bool)
+        if removed:
+            removed_arr = np.array(sorted(removed), dtype=np.int64)
+            prev_keys = prev.edges[:, 0] * np.int64(n) + prev.edges[:, 1]
+            removed_keys = removed_arr[:, 0] * np.int64(n) + removed_arr[:, 1]
+            keep = ~np.isin(prev_keys, removed_keys, assume_unique=False)
+        if add_value:
+            added_arr = np.array(sorted(add_value), dtype=np.int64)
+            added_vals = np.array([add_value[tuple(e)] for e in
+                                   added_arr.tolist()], dtype=np.float64)
+            edges = np.concatenate([prev.edges[keep], added_arr], axis=0)
+            values = np.concatenate([prev.values[keep], added_vals])
+        else:
+            edges = prev.edges[keep]
+            values = prev.values[keep]
+        curr = GraphSnapshot(n, edges, values)
+
+        # encode the transition in the GD wire format and replay it onto
+        # the resident copy — the same path a remote mirror would take
+        diff = diff_snapshots(prev, curr)
+        self._resident = curr
+        self._frontier.update(touched)
+        self.total_events += len(events)
+        self.total_commits += 1
+        self.total_payload_nbytes += diff.payload_nbytes
+        dirty = np.array(sorted(touched), dtype=np.int64)
+        return IngestResult(curr, diff, dirty, len(events))
+
+
+def events_between(prev: GraphSnapshot,
+                   curr: GraphSnapshot) -> list[EdgeEvent]:
+    """Express a snapshot transition as an edge-event list.
+
+    Used by stream replays: a recorded DTDG timeline is turned back into
+    the event stream a live system would have observed.  Topology changes
+    become add/remove events; common edges whose value changed become a
+    remove+add pair so the replayed resident matches ``curr`` exactly.
+    """
+    diff = diff_snapshots(prev, curr)
+    events = [EdgeEvent(int(u), int(v), "remove") for u, v in diff.removed]
+
+    n = prev.num_vertices
+    curr_keys = curr.edges[:, 0] * np.int64(n) + curr.edges[:, 1]
+    prev_keys = prev.edges[:, 0] * np.int64(n) + prev.edges[:, 1]
+    added_keys = (diff.added[:, 0] * np.int64(n) + diff.added[:, 1]
+                  if len(diff.added) else np.empty(0, dtype=np.int64))
+    added_pos = np.searchsorted(curr_keys, added_keys)
+    for (u, v), pos in zip(diff.added, added_pos):
+        events.append(EdgeEvent(int(u), int(v), "add",
+                                float(curr.values[pos])))
+
+    # common edges with changed values
+    common_mask = np.isin(curr_keys, prev_keys, assume_unique=True)
+    common_keys = curr_keys[common_mask]
+    prev_pos = np.searchsorted(prev_keys, common_keys)
+    curr_pos = np.nonzero(common_mask)[0]
+    # exact comparison: edge values are transaction amounts/counts, and
+    # a tolerance here would let the replayed resident silently drift
+    changed = prev.values[prev_pos] != curr.values[curr_pos]
+    for pp, cp in zip(prev_pos[changed], curr_pos[changed]):
+        u, v = int(prev.edges[pp, 0]), int(prev.edges[pp, 1])
+        events.append(EdgeEvent(u, v, "remove"))
+        events.append(EdgeEvent(u, v, "add", float(curr.values[cp])))
+    return events

@@ -1,0 +1,106 @@
+"""Serving-side observability: latency percentiles and server counters.
+
+The counters mirror what a production inference tier exports: request
+throughput, per-request latency percentiles, the ingest rate, and the
+cache economics of the incremental engine (rows recomputed vs rows
+served from the embedding cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyTracker", "ServerCounters", "ServerStats"]
+
+
+class LatencyTracker:
+    """Collects per-request latencies and reports percentiles.
+
+    Latencies are kept as a plain list (the workloads here are 1e3–1e5
+    requests); a production tier would swap in a fixed-size reservoir or
+    a t-digest without changing the interface.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency_ms: float) -> None:
+        self._samples.append(float(latency_ms))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in milliseconds (``q`` in [0, 100])."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(self._samples))
+
+
+@dataclass
+class ServerCounters:
+    """Monotonic counters a :class:`~repro.serve.server.ModelServer`
+    increments as it works."""
+
+    queries_submitted: int = 0
+    queries_completed: int = 0
+    batches_flushed: int = 0
+    events_ingested: int = 0
+    commits: int = 0
+    refreshes: int = 0
+    advances: int = 0
+    rows_recomputed: int = 0        # by refreshes (cache economics)
+    rows_advanced: int = 0          # by timestep-boundary advances
+    rows_served_from_cache: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of vertex-rows served from the embedding cache
+        across all refreshes (advances recompute everything and are
+        excluded — they are timeline steps, not cache lookups)."""
+        total = self.rows_recomputed + self.rows_served_from_cache
+        return self.rows_served_from_cache / total if total else float("nan")
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time snapshot of a server's observable state."""
+
+    counters: ServerCounters
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    elapsed_s: float
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return float("nan")
+        return self.counters.queries_completed / self.elapsed_s
+
+    def row(self) -> tuple:
+        """Report row for the bench reporting pipeline."""
+        return (self.counters.queries_completed,
+                round(self.queries_per_second, 1),
+                round(self.latency_p50_ms, 3),
+                round(self.latency_p99_ms, 3),
+                round(self.counters.cache_hit_rate, 3)
+                if self.counters.cache_hit_rate == self.counters.cache_hit_rate
+                else None)

@@ -1,0 +1,281 @@
+"""The batched model server: queries in, fraud/link scores out.
+
+:class:`ModelServer` glues the serving subsystem together: a
+:class:`~repro.serve.ingest.StreamIngestor` keeps the resident graph
+current, an :class:`~repro.serve.engine.InferenceEngine` keeps the
+embedding cache fresh (incrementally or via full recompute — the
+``incremental`` flag is the benchmark's A/B switch), and a micro-batching
+request queue amortizes head evaluation: requests buffer until either
+``max_batch_size`` is reached or the oldest request has waited
+``flush_latency_ms`` (checked by :meth:`tick`, the event-loop hook).
+
+The server is deliberately single-threaded and deterministic — the same
+design as the simulated cluster: batching *policy* is what the paper's
+style of system study cares about, and a thread pool would only blur
+the measurements.  Wall time comes from an injectable ``clock`` so tests
+can drive latency accounting deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.snapshot import GraphSnapshot
+from repro.models.base import DynamicGNN
+from repro.nn.linear import EdgeScorer, Linear
+from repro.serve.cache import EmbeddingCache
+from repro.serve.engine import InferenceEngine
+from repro.serve.ingest import EdgeEvent, StreamIngestor
+from repro.serve.metrics import LatencyTracker, ServerCounters, ServerStats
+
+__all__ = ["PendingQuery", "ModelServer"]
+
+
+def _softmax_rows(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=-1, keepdims=True)
+    ez = np.exp(shifted)
+    return ez / ez.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class PendingQuery:
+    """Handle returned by ``submit_*``; resolved at flush time."""
+
+    kind: str                     # "link" | "fraud"
+    payload: tuple
+    enqueued_at: float
+    done: bool = False
+    result: float | None = None
+    latency_ms: float = float("nan")
+
+    def _resolve(self, value: float, now: float) -> None:
+        self.result = float(value)
+        self.latency_ms = (now - self.enqueued_at) * 1e3
+        self.done = True
+
+
+class ModelServer:
+    """Serves link-prediction and fraud-score queries over a live graph.
+
+    Parameters
+    ----------
+    model:
+        Trained dynamic GNN (CD-GCN / EvolveGCN / TM-GCN).
+    snapshot:
+        Initial resident graph (typically the last training snapshot).
+    link_head:
+        Optional trained :class:`EdgeScorer`; without it, link queries
+        score by the sigmoid of the embedding dot product.
+    fraud_head:
+        Optional trained :class:`Linear` classifier (class 1 =
+        suspicious); required for fraud queries.
+    max_batch_size / flush_latency_ms:
+        Micro-batching knobs: flush when the queue is full, or when the
+        oldest queued request exceeds the latency budget.
+    k_hops:
+        Cache invalidation radius (default: model depth).
+    incremental:
+        ``False`` recomputes every row on each refresh — the full
+        recompute baseline the serving benchmark compares against.
+    clock:
+        Seconds-returning callable (default ``time.perf_counter``).
+    """
+
+    def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot, *,
+                 link_head: EdgeScorer | None = None,
+                 fraud_head: Linear | None = None,
+                 max_batch_size: int = 64,
+                 flush_latency_ms: float = 2.0,
+                 k_hops: int | None = None,
+                 incremental: bool = True,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if flush_latency_ms < 0:
+            raise ConfigError("flush_latency_ms must be >= 0")
+        self.model = model
+        self.engine = InferenceEngine(model, snapshot, k_hops=k_hops)
+        self.ingestor = StreamIngestor(snapshot)
+        self.link_head = link_head
+        self.fraud_head = fraud_head
+        self.max_batch_size = max_batch_size
+        self.flush_latency_ms = flush_latency_ms
+        self.incremental = incremental
+        self.clock = clock
+        self.counters = ServerCounters()
+        self.latency = LatencyTracker()
+        self._queue: list[PendingQuery] = []
+        self._started_at: float | None = None
+        self.engine.advance()  # prime embeddings for the initial snapshot
+        self.counters.advances += 1
+
+    @classmethod
+    def from_checkpoint(cls, path: str, snapshot: GraphSnapshot,
+                        **kwargs) -> "ModelServer":
+        """Boot a server from a training checkpoint (model + heads
+        rebuilt through the model registry)."""
+        from repro.train.checkpoint import load_model_checkpoint
+        ckpt = load_model_checkpoint(path)
+        kwargs.setdefault("link_head", ckpt.link_head)
+        kwargs.setdefault("fraud_head", ckpt.fraud_head)
+        return cls(ckpt.model, snapshot, **kwargs)
+
+    # -- cache plumbing ------------------------------------------------------------
+    @property
+    def cache(self) -> EmbeddingCache:
+        return self.engine.cache
+
+    def stats(self) -> ServerStats:
+        now = self.clock()
+        elapsed = (now - self._started_at) if self._started_at is not None \
+            else 0.0
+        # copy the counters so the stats object really is point-in-time
+        return ServerStats(counters=replace(self.counters),
+                           latency_p50_ms=self.latency.p50,
+                           latency_p99_ms=self.latency.p99,
+                           latency_mean_ms=self.latency.mean,
+                           elapsed_s=elapsed)
+
+    # -- ingestion --------------------------------------------------------------------
+    def ingest_events(self, events: Iterable[EdgeEvent]) -> int:
+        """Fold live edge events into the resident graph.
+
+        The embedding cache is invalidated (k-hop) but not refreshed —
+        recomputation is deferred to the next flush so event bursts
+        coalesce into one partial recompute.
+        """
+        count = self.ingestor.push_batch(events)
+        result = self.ingestor.commit()
+        self.counters.events_ingested += result.num_events
+        self.counters.commits += 1
+        if self.incremental:
+            self.engine.set_snapshot(result.snapshot, seeds=result.dirty)
+        else:
+            self.engine.set_snapshot(result.snapshot, seeds=None)
+        return count
+
+    def advance_time(self, snapshot: GraphSnapshot | None = None) -> None:
+        """Cross a timestep boundary: temporal carries move forward and
+        every row recomputes (both serving modes pay this)."""
+        self.engine.advance(snapshot)
+        if snapshot is not None:
+            self.ingestor.rebase(snapshot)
+        self.counters.advances += 1
+        self.counters.rows_advanced += self.engine.num_vertices
+
+    # -- queries ----------------------------------------------------------------------
+    def submit_link(self, src: int, dst: int) -> PendingQuery:
+        """Probability that edge ``(src, dst)`` exists/appears."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        return self._submit(PendingQuery("link", (int(src), int(dst)),
+                                         self.clock()))
+
+    def submit_fraud(self, account: int) -> PendingQuery:
+        """Probability that ``account`` is a suspicious (laundering)
+        vertex, from the node-classification head."""
+        if self.fraud_head is None:
+            raise ConfigError("fraud queries need a fraud_head")
+        self._check_vertex(account)
+        return self._submit(PendingQuery("fraud", (int(account),),
+                                         self.clock()))
+
+    def _check_vertex(self, v: int) -> None:
+        """Reject bad ids at submit time: a negative id would silently
+        score the wrong vertex (numpy indexing) and an oversized one
+        would fail mid-flush, taking its co-batched queries with it."""
+        if not 0 <= int(v) < self.engine.num_vertices:
+            raise ConfigError(
+                f"query vertex {v} outside the resident vertex set of "
+                f"size {self.engine.num_vertices}")
+
+    def _submit(self, query: PendingQuery) -> PendingQuery:
+        if self._started_at is None:
+            self._started_at = query.enqueued_at
+        self._queue.append(query)
+        self.counters.queries_submitted += 1
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return query
+
+    def tick(self) -> int:
+        """Event-loop hook: flush if the oldest request is past the
+        latency budget.  Returns the number of completed queries."""
+        if not self._queue:
+            return 0
+        waited_ms = (self.clock() - self._queue[0].enqueued_at) * 1e3
+        if waited_ms >= self.flush_latency_ms:
+            return self.flush()
+        return 0
+
+    def flush(self) -> int:
+        """Refresh the cache and answer every queued query in one batch."""
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue[:self.max_batch_size], \
+            self._queue[self.max_batch_size:]
+        self._refresh()
+        z = self.engine.embeddings
+        links = [(i, q) for i, q in enumerate(batch) if q.kind == "link"]
+        frauds = [(i, q) for i, q in enumerate(batch) if q.kind == "fraud"]
+        now = self.clock()
+        if links:
+            pairs = np.array([q.payload for _, q in links], dtype=np.int64)
+            scores = self._score_links(z, pairs)
+            for (_, q), s in zip(links, scores):
+                q._resolve(s, now)
+        if frauds:
+            accounts = np.array([q.payload[0] for _, q in frauds],
+                                dtype=np.int64)
+            scores = self._score_fraud(z, accounts)
+            for (_, q), s in zip(frauds, scores):
+                q._resolve(s, now)
+        for q in batch:
+            self.latency.record(q.latency_ms)
+        self.counters.queries_completed += len(batch)
+        self.counters.batches_flushed += 1
+        if self._queue:  # drained in max_batch_size chunks
+            return len(batch) + self.flush()
+        return len(batch)
+
+    def drain(self) -> int:
+        """Flush until the queue is empty (end-of-stream helper)."""
+        total = 0
+        while self._queue:
+            total += self.flush()
+        return total
+
+    # -- scoring ----------------------------------------------------------------------
+    def _refresh(self) -> None:
+        cache = self.cache
+        if cache.num_dirty == 0:
+            return
+        if not self.incremental:
+            cache.invalidate_all()
+        recomputed = self.engine.refresh()
+        self.counters.refreshes += 1
+        self.counters.rows_recomputed += recomputed
+        self.counters.rows_served_from_cache += \
+            self.engine.num_vertices - recomputed
+
+    def _score_links(self, z: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+        if self.link_head is not None:
+            feats = np.concatenate([z[pairs[:, 0]], z[pairs[:, 1]]], axis=1)
+            logits = feats @ self.link_head.fc.weight.data
+            if self.link_head.fc.use_bias:
+                logits = logits + self.link_head.fc.bias.data
+            return _softmax_rows(logits)[:, 1]
+        dots = (z[pairs[:, 0]] * z[pairs[:, 1]]).sum(axis=1)
+        return 1.0 / (1.0 + np.exp(-dots))
+
+    def _score_fraud(self, z: np.ndarray,
+                     accounts: np.ndarray) -> np.ndarray:
+        logits = z[accounts] @ self.fraud_head.weight.data
+        if self.fraud_head.use_bias:
+            logits = logits + self.fraud_head.bias.data
+        return _softmax_rows(logits)[:, 1]

@@ -3,8 +3,10 @@
 from repro.train.preprocess import (apply_edge_life, apply_mproduct_smoothing,
                                     compute_laplacians, degree_features,
                                     precompute_aggregation, smooth_for_model)
-from repro.train.checkpoint import (CheckpointRunner, carry_nbytes,
-                                    flatten_tensors)
+from repro.train.checkpoint import (CheckpointRunner, ModelCheckpoint,
+                                    carry_nbytes, flatten_tensors,
+                                    load_model_checkpoint,
+                                    save_model_checkpoint)
 from repro.train.tasks import LinkPredictionTask, NodeClassificationTask
 from repro.train.metrics import ConvergenceCurve, EpochResult
 from repro.train.trainer import SingleDeviceTrainer, TrainerConfig
@@ -14,6 +16,7 @@ __all__ = [
     "degree_features", "apply_edge_life", "apply_mproduct_smoothing",
     "compute_laplacians", "precompute_aggregation", "smooth_for_model",
     "CheckpointRunner", "carry_nbytes", "flatten_tensors",
+    "ModelCheckpoint", "save_model_checkpoint", "load_model_checkpoint",
     "LinkPredictionTask", "NodeClassificationTask",
     "EpochResult", "ConvergenceCurve",
     "SingleDeviceTrainer", "TrainerConfig",

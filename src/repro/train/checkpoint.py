@@ -18,6 +18,8 @@ balances by tuning ``nb``.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -29,7 +31,9 @@ from repro.partition.snapshot_part import block_ranges
 from repro.tensor import Tensor, no_grad
 from repro.tensor.sparse import SparseMatrix
 
-__all__ = ["CheckpointRunner", "flatten_tensors", "carry_nbytes"]
+__all__ = ["CheckpointRunner", "flatten_tensors", "carry_nbytes",
+           "ModelCheckpoint", "save_model_checkpoint",
+           "load_model_checkpoint"]
 
 # Loss callback: (block_embeddings, global_start_timestep) -> Tensor | None
 BlockLossFn = Callable[[list[Tensor], int], Tensor | None]
@@ -182,3 +186,113 @@ class CheckpointRunner:
         return CheckpointResult(
             loss=total_loss, num_blocks=nb, peak_live_timesteps=bsize,
             carry_bytes=sum(carry_nbytes(c) for c in carries[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Model persistence: the train→serve hand-off.
+#
+# A checkpoint is a single .npz with every model (and optional head)
+# parameter plus a JSON config record sufficient to rebuild the model
+# through repro.models.registry — the ModelServer's loading path.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ModelCheckpoint:
+    """A rebuilt model plus its task heads, as loaded from disk."""
+
+    model: DynamicGNN
+    model_name: str
+    link_head: Any = None    # EdgeScorer | None
+    fraud_head: Any = None   # Linear | None
+    extra: dict | None = None
+
+
+def _model_config(model: DynamicGNN, model_name: str) -> dict:
+    config = {
+        "model_name": model_name,
+        "in_features": model.in_features,
+        "hidden": model.hidden,
+        "embed_dim": model.embed_dim,
+        "num_layers": model.num_layers,
+    }
+    if hasattr(model, "window"):
+        config["window"] = model.window
+    return config
+
+
+def save_model_checkpoint(path: str, model: DynamicGNN, model_name: str,
+                          *, link_head=None, fraud_head=None,
+                          extra: dict | None = None) -> str:
+    """Persist a trained model (and optional heads) to ``path`` (.npz).
+
+    ``model_name`` must resolve through the model registry so
+    :func:`load_model_checkpoint` can rebuild the architecture.
+    """
+    from repro.models.registry import resolve_model_name
+    config = _model_config(model, resolve_model_name(model_name))
+    if link_head is not None:
+        config["link_head"] = {"embed_dim": link_head.embed_dim,
+                               "num_classes": link_head.num_classes}
+    if fraud_head is not None:
+        config["fraud_head"] = {"in_features": fraud_head.in_features,
+                                "out_features": fraud_head.out_features,
+                                "bias": fraud_head.use_bias}
+    if extra:
+        config["extra"] = extra
+    payload: dict[str, np.ndarray] = {
+        "config_json": np.array([json.dumps(config)])}
+    for name, value in model.state_dict().items():
+        payload[f"model/{name}"] = value
+    if link_head is not None:
+        for name, value in link_head.state_dict().items():
+            payload[f"link_head/{name}"] = value
+    if fraud_head is not None:
+        for name, value in fraud_head.state_dict().items():
+            payload[f"fraud_head/{name}"] = value
+    # write through a file handle: np.savez would otherwise silently
+    # append ".npz" to a suffix-less path and the returned path would
+    # not exist
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+    return path
+
+
+def load_model_checkpoint(path: str, seed: int = 0) -> ModelCheckpoint:
+    """Rebuild a model (via the registry) from a saved checkpoint."""
+    from repro.models.registry import build_model
+    from repro.nn.linear import EdgeScorer, Linear
+    if not os.path.exists(path):
+        raise ConfigError(f"no such checkpoint: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        config = json.loads(str(archive["config_json"][0]))
+        kwargs = {}
+        if "window" in config:
+            kwargs["window"] = config["window"]
+        model = build_model(config["model_name"],
+                            in_features=config["in_features"],
+                            hidden=config["hidden"],
+                            embed_dim=config["embed_dim"],
+                            num_layers=config["num_layers"],
+                            seed=seed, **kwargs)
+
+        def section(prefix: str) -> dict[str, np.ndarray]:
+            plen = len(prefix) + 1
+            return {key[plen:]: archive[key] for key in archive.files
+                    if key.startswith(prefix + "/")}
+
+        model.load_state_dict(section("model"))
+        rng = np.random.default_rng(seed)
+        link_head = fraud_head = None
+        if "link_head" in config:
+            spec = config["link_head"]
+            link_head = EdgeScorer(spec["embed_dim"], spec["num_classes"],
+                                  rng)
+            link_head.load_state_dict(section("link_head"))
+        if "fraud_head" in config:
+            spec = config["fraud_head"]
+            fraud_head = Linear(spec["in_features"], spec["out_features"],
+                                rng, bias=spec["bias"])
+            fraud_head.load_state_dict(section("fraud_head"))
+    return ModelCheckpoint(model=model, model_name=config["model_name"],
+                           link_head=link_head, fraud_head=fraud_head,
+                           extra=config.get("extra"))

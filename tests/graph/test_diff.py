@@ -9,6 +9,7 @@ from repro.graph import (DiffDecoder, GraphSnapshot, apply_diff,
                          diff_snapshots, encode_sequence,
                          sequence_transfer_stats)
 from repro.graph.generators import evolving_dtdg
+from repro.tensor.sparse import VALUE_BYTES
 
 
 def snap(n, pairs, values=None):
@@ -110,6 +111,49 @@ class TestApplyDiff:
         a, b = mk(ea), mk(eb)
         rebuilt = apply_diff(a, diff_snapshots(a, b))
         assert rebuilt == b
+
+
+class TestDiffEdgeCases:
+    """Degenerate transitions the serving ingestor can produce live."""
+
+    def test_empty_to_nonempty_roundtrip_with_values(self):
+        empty = snap(6, np.empty((0, 2), dtype=np.int64))
+        full = snap(6, [[0, 1], [2, 3], [4, 5]], values=[1.0, 2.0, 3.0])
+        d = diff_snapshots(empty, full)
+        assert len(d.removed) == 0
+        assert len(d.added) == full.num_edges
+        assert apply_diff(empty, d) == full
+        # and back down to empty again
+        back = diff_snapshots(full, empty)
+        assert apply_diff(full, back) == empty
+
+    def test_fully_disjoint_topology_roundtrip(self):
+        a = snap(10, [[i, i + 1] for i in range(0, 8, 2)])
+        b = snap(10, [[i + 1, i] for i in range(0, 8, 2)],
+                 values=[2.0, 2.0, 2.0, 2.0])
+        d = diff_snapshots(a, b)
+        # nothing survives: every index is shipped twice (remove + add)
+        assert len(d.removed) == a.num_edges
+        assert len(d.added) == b.num_edges
+        assert apply_diff(a, d) == b
+        # GD strictly loses on disjoint graphs (indices shipped twice)
+        assert d.payload_nbytes > d.naive_nbytes
+        assert d.savings_ratio < 1.0
+
+    def test_self_delta_zero_extra_index_bytes(self):
+        a = snap(8, [[0, 1], [1, 2], [3, 4]], values=[1.0, 2.0, 3.0])
+        d = diff_snapshots(a, a)
+        assert len(d.removed) == 0 and len(d.added) == 0
+        # payload is values only: the index part of the wire format is 0
+        index_bytes = d.payload_nbytes - 3 * VALUE_BYTES
+        assert index_bytes == 0
+        assert apply_diff(a, d) == a
+
+    def test_self_delta_of_empty_snapshot(self):
+        empty = snap(4, np.empty((0, 2), dtype=np.int64))
+        d = diff_snapshots(empty, empty)
+        assert d.payload_nbytes == 0
+        assert apply_diff(empty, d) == empty
 
 
 class TestSequenceEncoding:

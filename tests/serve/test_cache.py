@@ -1,0 +1,81 @@
+"""Tests for the embedding cache and k-hop dirty expansion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import GraphSnapshot
+from repro.serve import EmbeddingCache, expand_dirty
+
+
+def snap(n, pairs):
+    return GraphSnapshot(n, np.array(pairs, dtype=np.int64).reshape(-1, 2))
+
+
+# a path graph 0-1-2-3-4-5 (directed edges i -> i+1)
+PATH = snap(6, [[i, i + 1] for i in range(5)])
+
+
+class TestExpandDirty:
+    def test_zero_hops_returns_seeds(self):
+        np.testing.assert_array_equal(
+            expand_dirty(PATH, np.array([2]), 0), [2])
+
+    def test_one_hop_is_undirected(self):
+        # vertex 2 reaches 1 (in-edge) and 3 (out-edge)
+        np.testing.assert_array_equal(
+            expand_dirty(PATH, np.array([2]), 1), [1, 2, 3])
+
+    def test_two_hops(self):
+        np.testing.assert_array_equal(
+            expand_dirty(PATH, np.array([2]), 2), [0, 1, 2, 3, 4])
+
+    def test_hops_saturate(self):
+        out = expand_dirty(PATH, np.array([0]), 50)
+        np.testing.assert_array_equal(out, np.arange(6))
+
+    def test_disconnected_component_untouched(self):
+        g = snap(6, [[0, 1], [1, 2], [4, 5]])
+        out = expand_dirty(g, np.array([0]), 10)
+        np.testing.assert_array_equal(out, [0, 1, 2])
+
+    def test_empty_seeds(self):
+        assert len(expand_dirty(PATH, np.empty(0, dtype=np.int64), 3)) == 0
+
+    def test_multiple_seeds_merge(self):
+        out = expand_dirty(PATH, np.array([0, 5]), 1)
+        np.testing.assert_array_equal(out, [0, 1, 4, 5])
+
+
+class TestEmbeddingCache:
+    def test_starts_fully_dirty(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        assert cache.all_dirty
+        np.testing.assert_array_equal(cache.clean(), np.arange(6))
+        assert cache.num_dirty == 0
+
+    def test_k_defaults_to_depth(self):
+        assert EmbeddingCache(6, num_layers=3).k_hops == 3
+
+    def test_too_small_k_rejected(self):
+        with pytest.raises(ConfigError):
+            EmbeddingCache(6, num_layers=2, k_hops=1)
+
+    def test_invalidate_expands_k_hops(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        np.testing.assert_array_equal(cache.dirty, [0, 1, 2])
+
+    def test_invalidations_accumulate(self):
+        cache = EmbeddingCache(6, num_layers=1)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        cache.invalidate(PATH, np.array([5]))
+        np.testing.assert_array_equal(cache.dirty, [0, 1, 4, 5])
+        assert cache.invalidations == 2
+
+    def test_embeddings_require_priming(self):
+        cache = EmbeddingCache(4, num_layers=1)
+        with pytest.raises(ConfigError):
+            _ = cache.embeddings

@@ -1,0 +1,193 @@
+"""Tests for the batched model server (queue policy, scoring, stats)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import AMLSimConfig, generate_amlsim
+from repro.models import build_model
+from repro.nn.linear import EdgeScorer, Linear
+from repro.serve import EdgeEvent, ModelServer, events_between
+from repro.train import save_model_checkpoint
+
+
+class FakeClock:
+    """Deterministic injectable clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = AMLSimConfig(num_accounts=80, num_timesteps=6,
+                          background_per_step=120,
+                          partner_persistence=0.8, num_fan_out=2,
+                          num_fan_in=2, num_cycles=1, num_scatter_gather=1,
+                          pattern_size=4, seed=5)
+    sim = generate_amlsim(config)
+    model = build_model("cdgcn", in_features=2, seed=0)
+    rng = np.random.default_rng(1)
+    return sim, model, EdgeScorer(model.embed_dim, 2, rng), \
+        Linear(model.embed_dim, 2, rng)
+
+
+def make_server(world, **kwargs):
+    sim, model, link_head, fraud_head = world
+    kwargs.setdefault("link_head", link_head)
+    kwargs.setdefault("fraud_head", fraud_head)
+    return ModelServer(model, sim.dtdg[0], **kwargs)
+
+
+class TestQueue:
+    def test_flush_on_max_batch(self, world):
+        server = make_server(world, max_batch_size=4)
+        queries = [server.submit_link(0, 1) for _ in range(3)]
+        assert not any(q.done for q in queries)
+        queries.append(server.submit_link(1, 2))
+        assert all(q.done for q in queries)
+        assert server.counters.batches_flushed == 1
+
+    def test_tick_respects_latency_budget(self, world):
+        clock = FakeClock()
+        server = make_server(world, max_batch_size=100,
+                             flush_latency_ms=5.0, clock=clock)
+        q = server.submit_fraud(3)
+        clock.tick(0.004)
+        assert server.tick() == 0 and not q.done
+        clock.tick(0.002)  # 6 ms > 5 ms budget
+        assert server.tick() == 1 and q.done
+
+    def test_drain_empties_queue(self, world):
+        server = make_server(world, max_batch_size=100)
+        for i in range(10):
+            server.submit_fraud(i)
+        assert server.drain() == 10
+        assert server.counters.queries_completed == 10
+
+    def test_oversized_burst_drains_in_chunks(self, world):
+        server = make_server(world, max_batch_size=4)
+        done = [server.submit_fraud(i % 8) for i in range(7)]
+        server.submit_fraud(0)  # 8th fills the first batch, all flush
+        assert all(q.done for q in done)
+        assert server.counters.batches_flushed == 2
+
+
+class TestScoring:
+    def test_scores_are_probabilities(self, world):
+        server = make_server(world, max_batch_size=2)
+        a = server.submit_link(0, 1)
+        b = server.submit_fraud(2)
+        assert 0.0 <= a.result <= 1.0
+        assert 0.0 <= b.result <= 1.0
+        assert a.latency_ms >= 0.0
+
+    def test_link_without_head_uses_dot_product(self, world):
+        server = make_server(world, link_head=None, max_batch_size=1)
+        q = server.submit_link(0, 1)
+        assert 0.0 <= q.result <= 1.0
+
+    def test_fraud_without_head_rejected(self, world):
+        server = make_server(world, fraud_head=None)
+        with pytest.raises(ConfigError):
+            server.submit_fraud(0)
+
+    def test_out_of_range_query_ids_rejected_at_submit(self, world):
+        """Negative ids would silently score the wrong vertex and big
+        ones would kill the whole batch at flush time."""
+        server = make_server(world, max_batch_size=10)
+        n = server.engine.num_vertices
+        with pytest.raises(ConfigError):
+            server.submit_fraud(-1)
+        with pytest.raises(ConfigError):
+            server.submit_fraud(n)
+        with pytest.raises(ConfigError):
+            server.submit_link(0, n)
+        ok = server.submit_link(0, 1)  # queue survived the rejections
+        server.drain()
+        assert ok.done
+
+    def test_scores_follow_ingested_events(self, world):
+        """Identical queries straddling an ingest see refreshed rows."""
+        sim, model, _, _ = world
+        server = make_server(world, max_batch_size=1)
+        before = server.submit_link(0, 1).result
+        events = [EdgeEvent(0, 1), EdgeEvent(0, 2), EdgeEvent(1, 0)]
+        server.ingest_events(events)
+        after = server.submit_link(0, 1).result
+        assert before != after  # degree features of 0/1 changed
+
+
+class TestIncrementalVsFull:
+    def test_modes_agree_on_scores(self, world):
+        sim = world[0]
+        dtdg = sim.dtdg
+        servers = [make_server(world, incremental=True, max_batch_size=3),
+                   make_server(world, incremental=False, max_batch_size=3)]
+        for t in range(1, dtdg.num_timesteps):
+            events = events_between(dtdg[t - 1], dtdg[t])
+            half = len(events) // 2
+            for chunk in (events[:half], events[half:]):
+                results = []
+                for server in servers:
+                    server.ingest_events(chunk)
+                    qs = [server.submit_link(1, 2), server.submit_fraud(3),
+                          server.submit_link(4, 0)]
+                    server.drain()
+                    results.append([q.result for q in qs])
+                np.testing.assert_allclose(results[0], results[1],
+                                           atol=1e-6)
+            for server in servers:
+                server.advance_time(dtdg[t])
+
+    def test_incremental_recomputes_fewer_rows(self, world):
+        sim = world[0]
+        dtdg = sim.dtdg
+        inc = make_server(world, incremental=True, max_batch_size=1)
+        full = make_server(world, incremental=False, max_batch_size=1)
+        events = events_between(dtdg[0], dtdg[1])[:4]
+        for server in (inc, full):
+            server.ingest_events(events)
+            server.submit_fraud(0)
+        assert inc.counters.rows_recomputed < full.counters.rows_recomputed
+        assert inc.counters.rows_served_from_cache > 0
+        assert full.counters.cache_hit_rate == 0.0
+
+
+class TestStats:
+    def test_counters_and_latency(self, world):
+        clock = FakeClock()
+        server = make_server(world, max_batch_size=2, clock=clock)
+        server.ingest_events([EdgeEvent(1, 2)])
+        server.submit_link(0, 1)
+        clock.tick(0.010)
+        server.submit_fraud(1)
+        clock.tick(0.005)
+        stats = server.stats()
+        assert stats.counters.queries_completed == 2
+        assert stats.counters.events_ingested == 1
+        # first request waited 10 ms, second 0 ms
+        assert stats.latency_p99_ms == pytest.approx(10.0, abs=0.5)
+        assert stats.queries_per_second > 0
+        assert len(stats.row()) == 5
+
+
+class TestCheckpointBoot:
+    def test_from_checkpoint_roundtrip(self, world, tmp_path):
+        sim, model, link_head, fraud_head = world
+        path = str(tmp_path / "ckpt.npz")
+        save_model_checkpoint(path, model, "cdgcn", link_head=link_head,
+                              fraud_head=fraud_head)
+        booted = ModelServer.from_checkpoint(path, sim.dtdg[0],
+                                             max_batch_size=1)
+        direct = make_server(world, max_batch_size=1)
+        assert booted.submit_link(0, 1).result == \
+            pytest.approx(direct.submit_link(0, 1).result, abs=1e-9)
+        assert booted.submit_fraud(2).result == \
+            pytest.approx(direct.submit_fraud(2).result, abs=1e-9)

@@ -178,3 +178,73 @@ class TestCheckpointMechanics:
             opt.step()
             losses.append(result.loss)
         assert losses[-1] < losses[0]
+
+
+class TestModelPersistence:
+    """save/load of trained models — the train→serve hand-off."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_roundtrip_reproduces_embeddings(self, name, tmp_path):
+        from repro.train import (load_model_checkpoint,
+                                 save_model_checkpoint)
+        _, laps, frames = make_workload(seed=2)
+        model = build_model(name, in_features=2, seed=3)
+        path = str(tmp_path / f"{name}.npz")
+        save_model_checkpoint(path, model, name)
+        # rebuild with a different seed: loaded weights must win
+        loaded = load_model_checkpoint(path, seed=99)
+        assert loaded.model_name == name
+        want = model(laps, frames)
+        got = loaded.model(laps, frames)
+        for w, g in zip(want, got):
+            np.testing.assert_allclose(g.data, w.data, atol=1e-12)
+
+    def test_heads_roundtrip(self, tmp_path):
+        from repro.nn.linear import EdgeScorer, Linear
+        from repro.train import (load_model_checkpoint,
+                                 save_model_checkpoint)
+        rng = np.random.default_rng(0)
+        model = build_model("cdgcn", in_features=2, seed=0)
+        link = EdgeScorer(model.embed_dim, 2, rng)
+        fraud = Linear(model.embed_dim, 2, rng)
+        path = str(tmp_path / "full.npz")
+        save_model_checkpoint(path, model, "cdgcn", link_head=link,
+                              fraud_head=fraud,
+                              extra={"dataset": "amlsim"})
+        loaded = load_model_checkpoint(path)
+        np.testing.assert_allclose(loaded.link_head.fc.weight.data,
+                                   link.fc.weight.data)
+        np.testing.assert_allclose(loaded.fraud_head.weight.data,
+                                   fraud.weight.data)
+        assert loaded.extra == {"dataset": "amlsim"}
+
+    def test_suffixless_path_roundtrips(self, tmp_path):
+        """np.savez appends '.npz' on its own; the checkpoint writer
+        must not, so the returned path always exists."""
+        import os
+        from repro.train import (load_model_checkpoint,
+                                 save_model_checkpoint)
+        model = build_model("cdgcn", in_features=2, seed=0)
+        path = save_model_checkpoint(str(tmp_path / "ckpt"), model,
+                                     "cdgcn")
+        assert os.path.exists(path)
+        assert load_model_checkpoint(path).model_name == "cdgcn"
+
+    def test_alias_resolves_to_canonical_name(self, tmp_path):
+        from repro.train import (load_model_checkpoint,
+                                 save_model_checkpoint)
+        model = build_model("evolvegcn", in_features=2, seed=0)
+        path = save_model_checkpoint(str(tmp_path / "e.npz"), model,
+                                     "evolvegcn")
+        assert load_model_checkpoint(path).model_name == "egcn"
+
+    def test_unknown_model_name_rejected(self, tmp_path):
+        from repro.train import save_model_checkpoint
+        model = build_model("cdgcn", in_features=2, seed=0)
+        with pytest.raises(ConfigError):
+            save_model_checkpoint(str(tmp_path / "x.npz"), model, "gat")
+
+    def test_missing_file_rejected(self):
+        from repro.train import load_model_checkpoint
+        with pytest.raises(ConfigError):
+            load_model_checkpoint("/nonexistent/ckpt.npz")
