@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bench.reporting import render_table, write_report
+from repro.bench.reporting import render_table, write_bench_json, write_report
 from repro.graph.amlsim import AMLSimConfig, generate_amlsim
 from repro.graph.dtdg import DTDG
 from repro.models import build_model
@@ -32,7 +32,8 @@ from repro.serve.metrics import ServerStats
 from repro.serve.server import ModelServer
 
 __all__ = ["ServingWorkloadConfig", "ServingBenchResult",
-           "build_event_schedule", "replay_stream", "run_serving_benchmark"]
+           "build_event_schedule", "build_query_plan", "replay_stream",
+           "run_serving_benchmark"]
 
 
 @dataclass(frozen=True)
@@ -108,8 +109,8 @@ def build_event_schedule(dtdg: DTDG, start: int,
     return schedule
 
 
-def _query_plan(dtdg: DTDG, start: int, schedule,
-                queries_per_batch: int, seed: int) -> list[list[list]]:
+def build_query_plan(dtdg: DTDG, start: int, schedule,
+                     queries_per_batch: int, seed: int) -> list[list[list]]:
     """Deterministic (kind, payload) queries per event batch."""
     rng = np.random.default_rng(seed + 1)
     n = dtdg.num_vertices
@@ -174,8 +175,8 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
         raise ValueError("warmup_timesteps must leave timesteps to stream")
 
     schedule = build_event_schedule(dtdg, start, config.event_batches_per_step)
-    plan = _query_plan(dtdg, start, schedule, config.queries_per_batch,
-                       config.seed)
+    plan = build_query_plan(dtdg, start, schedule, config.queries_per_batch,
+                            config.seed)
     num_events = sum(len(ev) for batches in schedule for ev in batches)
 
     def boot(incremental: bool) -> ModelServer:
@@ -228,4 +229,34 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
                    f"speedup {result.throughput_speedup:.2f}x, "
                    f"max divergence {divergence:.2e})"))
         write_report(report_name, table)
+        write_bench_json("serving", {
+            "workload": {
+                "model": config.model,
+                "num_accounts": config.num_accounts,
+                "streamed_timesteps": dtdg.num_timesteps - start,
+                "num_events": num_events,
+                "num_queries": result.num_queries,
+            },
+            "throughput_speedup": round(result.throughput_speedup, 3),
+            "max_abs_divergence": divergence,
+            "incremental": {
+                "qps": round(result.num_queries / wall_inc, 1),
+                "wall_s": round(wall_inc, 4),
+                "p50_ms": round(result.incremental.latency_p50_ms, 4),
+                "p95_ms": round(result.incremental.latency_p95_ms, 4),
+                "p99_ms": round(result.incremental.latency_p99_ms, 4),
+                "rows_recomputed":
+                    result.incremental.counters.rows_recomputed,
+                "cache_hit_rate":
+                    round(result.incremental.counters.cache_hit_rate, 4),
+            },
+            "full_recompute": {
+                "qps": round(result.num_queries / wall_full, 1),
+                "wall_s": round(wall_full, 4),
+                "p50_ms": round(result.full.latency_p50_ms, 4),
+                "p95_ms": round(result.full.latency_p95_ms, 4),
+                "p99_ms": round(result.full.latency_p99_ms, 4),
+                "rows_recomputed": result.full.counters.rows_recomputed,
+            },
+        })
     return result

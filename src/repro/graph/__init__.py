@@ -6,7 +6,9 @@ from repro.graph.dtdg import DTDG, DTDGStats
 from repro.graph.laplacian import laplacian_from_adjacency, normalized_laplacian
 from repro.graph.diff import (DiffDecoder, SnapshotDiff, apply_diff,
                               diff_snapshots, encode_sequence,
-                              sequence_transfer_stats)
+                              sequence_transfer_stats,
+                              split_diff_by_blocks)
+from repro.graph.traversal import undirected_distances
 from repro.graph.generators import evolving_dtdg, random_dtdg, sample_edges
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.graph.amlsim import AMLSimConfig, AMLSimResult, generate_amlsim
@@ -17,7 +19,8 @@ __all__ = [
     "DTDG", "DTDGStats",
     "normalized_laplacian", "laplacian_from_adjacency",
     "SnapshotDiff", "diff_snapshots", "apply_diff", "encode_sequence",
-    "DiffDecoder", "sequence_transfer_stats",
+    "DiffDecoder", "sequence_transfer_stats", "split_diff_by_blocks",
+    "undirected_distances",
     "random_dtdg", "evolving_dtdg", "sample_edges",
     "DATASETS", "DatasetSpec", "load_dataset",
     "AMLSimConfig", "AMLSimResult", "generate_amlsim",

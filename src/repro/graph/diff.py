@@ -29,7 +29,8 @@ from repro.graph.snapshot import GraphSnapshot, canonical_edges
 from repro.tensor.sparse import INDEX_BYTES, VALUE_BYTES
 
 __all__ = ["SnapshotDiff", "diff_snapshots", "apply_diff",
-           "encode_sequence", "DiffDecoder", "sequence_transfer_stats"]
+           "encode_sequence", "DiffDecoder", "sequence_transfer_stats",
+           "split_diff_by_blocks"]
 
 
 @dataclass(frozen=True)
@@ -208,3 +209,50 @@ def sequence_transfer_stats(snapshots: Sequence[GraphSnapshot],
             num_diffs += 1
     return SequenceTransferStats(naive_nbytes=naive, gd_nbytes=gd,
                                  num_full=num_full, num_diffs=num_diffs)
+
+
+def split_diff_by_blocks(diff: SnapshotDiff, curr: GraphSnapshot,
+                         owners: np.ndarray,
+                         num_blocks: int | None = None
+                         ) -> list[SnapshotDiff]:
+    """Split a GD delta into per-vertex-block sub-deltas.
+
+    ``owners`` maps each vertex to its block (shard).  Block ``b``'s
+    sub-delta contains every removed/added edge *incident* to a vertex
+    it owns plus the new values of ``curr``'s edges incident to it —
+    exactly what a shard mirroring only its vertex block (and ghost
+    fringe) needs to stay current.  An edge whose endpoints live in two
+    different blocks appears in both sub-deltas; the duplication is the
+    cross-shard delta traffic the sharded serving tier accounts for.
+
+    Sub-deltas carry no base checksum (they do not apply against the
+    full resident base); their summed ``payload_nbytes`` is the total
+    wire cost of fanning the delta out to all shards.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    if len(owners) != curr.num_vertices:
+        raise DatasetError(
+            f"owners maps {len(owners)} vertices, snapshot has "
+            f"{curr.num_vertices}")
+    blocks = int(owners.max()) + 1 if num_blocks is None else num_blocks
+    if len(owners) and (owners.min() < 0 or owners.max() >= blocks):
+        raise DatasetError("owner block ids out of range")
+
+    def incident(edges: np.ndarray, b: int) -> np.ndarray:
+        if len(edges) == 0:
+            return edges
+        mask = (owners[edges[:, 0]] == b) | (owners[edges[:, 1]] == b)
+        return edges[mask]
+
+    out = []
+    for b in range(blocks):
+        if curr.num_edges:
+            vmask = (owners[curr.edges[:, 0]] == b) | \
+                (owners[curr.edges[:, 1]] == b)
+            values = curr.values[vmask]
+        else:
+            values = curr.values[:0]
+        out.append(SnapshotDiff(removed=incident(diff.removed, b),
+                                added=incident(diff.added, b),
+                                values=values))
+    return out

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PartitionError
+from repro.graph.traversal import undirected_distances
 
 __all__ = ["TimestepAssignment", "VertexChunks", "contiguous_chunks"]
 
@@ -117,3 +118,21 @@ class VertexChunks:
         for rank, (lo, hi) in enumerate(self.ranges):
             owners[lo:hi] = rank
         return owners
+
+    def fringe(self, edges: np.ndarray, rank: int,
+               hops: int = 1) -> np.ndarray:
+        """Vertices *outside* ``rank``'s range within ``hops`` undirected
+        hops of it — the ghost-vertex halo a shard must mirror to compute
+        its own rows exactly (serving) or the remote rows a rank reads in
+        a row-split SpMM (training).
+
+        ``edges`` is an ``(m, 2)`` array over this chunking's vertex
+        space.  Returns a sorted array of outside vertex ids.
+        """
+        if hops < 0:
+            raise PartitionError(f"hops must be >= 0, got {hops}")
+        lo, hi = self.ranges[rank]
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        dist = undirected_distances(self.num_vertices, edges,
+                                    np.arange(lo, hi), hops)
+        return np.flatnonzero((dist >= 1) & (dist <= hops))

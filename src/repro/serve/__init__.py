@@ -13,13 +13,20 @@ from repro.serve.ingest import (EdgeEvent, IngestResult, StreamIngestor,
                                 events_between)
 from repro.serve.cache import EmbeddingCache, expand_dirty
 from repro.serve.engine import InferenceEngine
-from repro.serve.server import ModelServer, PendingQuery
+from repro.serve.server import (ModelServer, PendingQuery, QueryFrontend,
+                                score_fraud, score_links)
 from repro.serve.metrics import LatencyTracker, ServerCounters, ServerStats
+from repro.serve.sharded import (HaloExchange, ReplicaSet, ShardEngine,
+                                 ShardPlan, ShardWorker, ShardedServer,
+                                 ShardedStats)
 
 __all__ = [
     "EdgeEvent", "IngestResult", "StreamIngestor", "events_between",
     "EmbeddingCache", "expand_dirty",
     "InferenceEngine",
-    "ModelServer", "PendingQuery",
+    "ModelServer", "PendingQuery", "QueryFrontend", "score_links",
+    "score_fraud",
     "LatencyTracker", "ServerCounters", "ServerStats",
+    "ShardPlan", "ShardEngine", "HaloExchange", "ReplicaSet",
+    "ShardWorker", "ShardedServer", "ShardedStats",
 ]

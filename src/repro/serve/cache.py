@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.snapshot import GraphSnapshot
+from repro.graph.traversal import undirected_distances
 
 __all__ = ["EmbeddingCache", "expand_dirty", "sorted_row_gather"]
 
@@ -57,33 +58,16 @@ def expand_dirty(snapshot: GraphSnapshot, seeds: np.ndarray,
                  hops: int) -> np.ndarray:
     """Vertices within ``hops`` undirected hops of ``seeds``.
 
-    Runs a vectorized frontier BFS over the snapshot's canonical edge
-    array; returns a sorted unique vertex array including the seeds.
-    The canonical array is already src-sorted, so only the reverse
-    (dst-sorted) view costs a sort per invalidation.
+    Runs the shared vectorized mask-frontier BFS over the snapshot's
+    edge array (O(E) boolean work per hop, no sorting); returns a
+    sorted unique vertex array including the seeds.
     """
     seeds = np.unique(np.asarray(seeds, dtype=np.int64))
     if hops <= 0 or len(seeds) == 0 or snapshot.num_edges == 0:
         return seeds
-    edges = snapshot.edges
-    src_sorted = edges[:, 0]  # canonical order is lexsorted by src
-    dst_order = np.argsort(edges[:, 1], kind="stable")
-    dst_sorted = edges[dst_order, 1]
-    dst_to_src = edges[dst_order, 0]
-    visited = seeds
-    frontier = seeds
-    for _ in range(hops):
-        out_idx, _ = sorted_row_gather(src_sorted, frontier)
-        in_idx, _ = sorted_row_gather(dst_sorted, frontier)
-        if len(out_idx) == 0 and len(in_idx) == 0:
-            break
-        neighbors = np.unique(np.concatenate([edges[out_idx, 1],
-                                              dst_to_src[in_idx]]))
-        frontier = np.setdiff1d(neighbors, visited, assume_unique=True)
-        if len(frontier) == 0:
-            break
-        visited = np.union1d(visited, frontier)
-    return visited
+    dist = undirected_distances(snapshot.num_vertices, snapshot.edges,
+                                seeds, hops)
+    return np.flatnonzero(dist <= hops)
 
 
 class EmbeddingCache:
@@ -123,8 +107,13 @@ class EmbeddingCache:
         self.pre_carry: list = []
         self.post_carry: list = []
         self._dirty: np.ndarray = np.arange(num_vertices, dtype=np.int64)
+        # seeds already expanded since the last clean(); re-walking them
+        # is redundant (see invalidate) and bursts of events sharing
+        # endpoints are common in transaction streams
+        self._expanded: np.ndarray = np.empty(0, dtype=np.int64)
         self.invalidations = 0
         self.rows_invalidated = 0
+        self.seeds_deduplicated = 0
 
     # -- dirty tracking ------------------------------------------------------------
     @property
@@ -142,13 +131,42 @@ class EmbeddingCache:
     def invalidate(self, snapshot: GraphSnapshot,
                    seeds: np.ndarray) -> np.ndarray:
         """Mark the k-hop neighborhood of ``seeds`` stale; returns the
-        newly computed dirty set (cumulative until :meth:`clean`)."""
+        newly computed dirty set (cumulative until :meth:`clean`).
+
+        Seeds already expanded since the last :meth:`clean` are skipped
+        instead of re-walked.  This is exact, not heuristic: a repeated
+        seed's k-hop reach can only grow through edges added *after* its
+        first expansion, and every such edge contributes its own (fresh)
+        endpoints to the seed set of the commit that added it — so the
+        repeat's reach is covered by the old expansion plus the fresh
+        seeds' expansions.  Removed edges only shrink reach, and
+        over-invalidation never serves a stale row.
+        """
         if self.all_dirty:
             return self._dirty
-        region = expand_dirty(snapshot, seeds, self.k_hops)
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        fresh = np.setdiff1d(seeds, self._expanded, assume_unique=True)
+        self.seeds_deduplicated += len(seeds) - len(fresh)
+        if len(fresh) == 0:
+            return self._dirty
+        region = expand_dirty(snapshot, fresh, self.k_hops)
         self._dirty = np.union1d(self._dirty, region)
+        self._expanded = np.union1d(self._expanded, fresh)
         self.invalidations += 1
         self.rows_invalidated += len(region)
+        return self._dirty
+
+    def mark_dirty(self, rows: np.ndarray) -> np.ndarray:
+        """Union pre-expanded rows into the dirty set without walking
+        the graph (a router that already expanded the frontier once
+        hands shards their slice through this)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) == 0:
+            return self._dirty
+        if not self.all_dirty:
+            self._dirty = np.union1d(self._dirty, rows)
+            self.invalidations += 1
+            self.rows_invalidated += len(rows)
         return self._dirty
 
     def invalidate_all(self) -> None:
@@ -160,6 +178,7 @@ class EmbeddingCache:
         """Consume the dirty set (the engine recomputed those rows)."""
         out = self._dirty
         self._dirty = np.empty(0, dtype=np.int64)
+        self._expanded = np.empty(0, dtype=np.int64)
         return out
 
     # -- embeddings ----------------------------------------------------------------

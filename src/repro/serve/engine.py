@@ -49,7 +49,22 @@ from repro.models.evolvegcn import EvolveGCN
 from repro.models.tmgcn import TMGCN
 from repro.serve.cache import EmbeddingCache, sorted_row_gather
 
-__all__ = ["InferenceEngine"]
+__all__ = ["InferenceEngine", "derive_serving_features"]
+
+
+def derive_serving_features(snapshot: GraphSnapshot
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Degree features and Laplacian normalization for a resident graph.
+
+    The single definition both the engine and the shard router use —
+    sharded exactness depends on every worker deriving *identical*
+    features for the same snapshot.
+    """
+    in_deg = snapshot.in_degrees()
+    out_deg = snapshot.out_degrees()
+    features = np.stack([in_deg, out_deg], axis=1)
+    dinv = 1.0 / np.sqrt(1.0 + np.maximum(out_deg, in_deg))
+    return features, dinv
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -91,7 +106,9 @@ class InferenceEngine:
     """
 
     def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot,
-                 k_hops: int | None = None) -> None:
+                 k_hops: int | None = None, *,
+                 features: np.ndarray | None = None,
+                 dinv: np.ndarray | None = None) -> None:
         if model.in_features != 2:
             raise ConfigError(
                 "serving computes in/out-degree features from the event "
@@ -111,7 +128,8 @@ class InferenceEngine:
         self._history: list[list[np.ndarray]] = []
         self._current_y: list[np.ndarray | None] = []
         self._init_carries(snapshot.num_vertices)
-        self.set_snapshot(snapshot, seeds=None)
+        self.set_snapshot(snapshot, seeds=None, features=features,
+                          dinv=dinv)
 
     # -- model introspection -----------------------------------------------------
     @staticmethod
@@ -178,12 +196,17 @@ class InferenceEngine:
         return self.cache.embeddings
 
     def set_snapshot(self, snapshot: GraphSnapshot,
-                     seeds: np.ndarray | None) -> None:
+                     seeds: np.ndarray | None, *,
+                     features: np.ndarray | None = None,
+                     dinv: np.ndarray | None = None) -> None:
         """Install a new resident snapshot.
 
         ``seeds`` are the vertices incident to changed edges (the
         ingestor's dirty frontier); ``None`` invalidates everything
-        (initial install or an untracked graph swap).
+        (initial install or an untracked graph swap).  ``features`` /
+        ``dinv`` short-circuit the degree recomputation when the caller
+        (e.g. a shard router fanning one snapshot out to many workers)
+        already derived them from the same snapshot.
         """
         if self._resident is not None and \
                 snapshot.num_vertices != self._resident.num_vertices:
@@ -191,11 +214,10 @@ class InferenceEngine:
         self._resident = snapshot
         self._laplacian = None  # rebuilt lazily by the full path
         # degree features and Laplacian normalization follow the graph
-        in_deg = snapshot.in_degrees()
-        out_deg = snapshot.out_degrees()
-        self.cache.features = np.stack([in_deg, out_deg], axis=1)
-        neighbors = np.maximum(out_deg, in_deg)
-        self._dinv = 1.0 / np.sqrt(1.0 + neighbors)
+        if features is None or dinv is None:
+            features, dinv = derive_serving_features(snapshot)
+        self.cache.features = features
+        self._dinv = dinv
         if seeds is None:
             self.cache.invalidate_all()
         elif len(seeds):
@@ -204,6 +226,7 @@ class InferenceEngine:
     # -- stepping ---------------------------------------------------------------------
     def advance(self, snapshot: GraphSnapshot | None = None) -> np.ndarray:
         """Move the timeline one step forward and recompute every row."""
+        self._settle()
         if snapshot is not None:
             self.set_snapshot(snapshot, seeds=None)
         if self._primed:
@@ -216,6 +239,16 @@ class InferenceEngine:
         self._primed = True
         self.steps += 1
         return self.embeddings
+
+    def _settle(self) -> None:
+        """Consume any dirty rows still pending against the *current*
+        resident before a timestep boundary.  The temporal carries a
+        boundary promotes must reflect the end-of-step graph — skipping
+        this (e.g. events ingested but never flushed before an advance)
+        would promote carries computed against a mid-step topology.
+        """
+        if self._primed and self.cache.num_dirty:
+            self.refresh()
 
     def refresh(self) -> int:
         """Recompute the dirty rows (frozen carry); returns row count."""
@@ -289,13 +322,25 @@ class InferenceEngine:
                 np.add.at(agg, row_of, w[:, None] * x[dsts])
         return agg
 
+    def _layer_rows(self, idx: int,
+                    rows: np.ndarray | None) -> np.ndarray | None:
+        """Rows to compute at layer ``idx`` (``None`` = every vertex).
+
+        The base engine computes the same row set at every layer; the
+        sharded engine overrides this to shrink the halo ring as depth
+        grows (layer ``ℓ`` outputs are only needed within ``L-1-ℓ`` hops
+        of the owned block).
+        """
+        return rows
+
     def _compute(self, rows: np.ndarray | None) -> None:
         """(Re)compute model rows; ``rows=None`` means all vertices."""
         cache = self.cache
         x = cache.features
-        sel = slice(None) if rows is None else rows
         for idx, layer in enumerate(self.layers):
-            agg = self._aggregate(x, rows)
+            layer_rows = self._layer_rows(idx, rows)
+            sel = slice(None) if layer_rows is None else layer_rows
+            agg = self._aggregate(x, layer_rows)
             if self.kind == "egcn":
                 y = np.maximum(agg @ self._current_weights[idx], 0.0)
             elif layer.skip_concat:

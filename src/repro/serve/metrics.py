@@ -44,6 +44,10 @@ class LatencyTracker:
         return self.percentile(50.0)
 
     @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
     def p99(self) -> float:
         return self.percentile(99.0)
 
@@ -85,6 +89,7 @@ class ServerStats:
 
     counters: ServerCounters
     latency_p50_ms: float
+    latency_p95_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
     elapsed_s: float
@@ -100,6 +105,7 @@ class ServerStats:
         return (self.counters.queries_completed,
                 round(self.queries_per_second, 1),
                 round(self.latency_p50_ms, 3),
+                round(self.latency_p95_ms, 3),
                 round(self.latency_p99_ms, 3),
                 round(self.counters.cache_hit_rate, 3)
                 if self.counters.cache_hit_rate == self.counters.cache_hit_rate

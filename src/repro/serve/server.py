@@ -33,13 +33,43 @@ from repro.serve.engine import InferenceEngine
 from repro.serve.ingest import EdgeEvent, StreamIngestor
 from repro.serve.metrics import LatencyTracker, ServerCounters, ServerStats
 
-__all__ = ["PendingQuery", "ModelServer"]
+__all__ = ["PendingQuery", "QueryFrontend", "ModelServer", "score_links",
+           "score_fraud"]
 
 
 def _softmax_rows(z: np.ndarray) -> np.ndarray:
     shifted = z - z.max(axis=-1, keepdims=True)
     ez = np.exp(shifted)
     return ez / ez.sum(axis=-1, keepdims=True)
+
+
+def score_links(z: np.ndarray, pairs: np.ndarray,
+                link_head: EdgeScorer | None) -> np.ndarray:
+    """Link-existence probabilities for ``(src, dst)`` pairs.
+
+    With a trained head the concatenated endpoint embeddings go through
+    its classifier; without one the sigmoid of the dot product serves as
+    the untrained fallback.  ``z`` may be any row-aligned embedding
+    matrix — the sharded tier passes gathered rows rather than the full
+    resident matrix, so ``pairs`` index into whatever ``z`` is given.
+    """
+    if link_head is not None:
+        feats = np.concatenate([z[pairs[:, 0]], z[pairs[:, 1]]], axis=1)
+        logits = feats @ link_head.fc.weight.data
+        if link_head.fc.use_bias:
+            logits = logits + link_head.fc.bias.data
+        return _softmax_rows(logits)[:, 1]
+    dots = (z[pairs[:, 0]] * z[pairs[:, 1]]).sum(axis=1)
+    return 1.0 / (1.0 + np.exp(-dots))
+
+
+def score_fraud(z: np.ndarray, accounts: np.ndarray,
+                fraud_head: Linear) -> np.ndarray:
+    """Suspicious-account probabilities from the classification head."""
+    logits = z[accounts] @ fraud_head.weight.data
+    if fraud_head.use_bias:
+        logits = logits + fraud_head.bias.data
+    return _softmax_rows(logits)[:, 1]
 
 
 @dataclass
@@ -59,7 +89,93 @@ class PendingQuery:
         self.done = True
 
 
-class ModelServer:
+class QueryFrontend:
+    """The micro-batched request surface shared by the single-worker
+    :class:`ModelServer` and the sharded router.
+
+    Owns the pending-query queue and its batching policy: flush when
+    ``max_batch_size`` requests are queued, or when the oldest request
+    has waited ``flush_latency_ms`` (checked by :meth:`tick`).
+    Subclasses implement :meth:`flush` (how a batch is answered) and
+    ``num_vertices`` (the resident vertex set queries validate against),
+    and provide ``counters`` with a ``queries_submitted`` field plus the
+    optional ``fraud_head``.
+    """
+
+    def _init_frontend(self, max_batch_size: int, flush_latency_ms: float,
+                       clock: Callable[[], float]) -> None:
+        if max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if flush_latency_ms < 0:
+            raise ConfigError("flush_latency_ms must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.flush_latency_ms = flush_latency_ms
+        self.clock = clock
+        self.latency = LatencyTracker()
+        self._queue: list[PendingQuery] = []
+        self._started_at: float | None = None
+
+    @property
+    def num_vertices(self) -> int:
+        raise NotImplementedError
+
+    def flush(self) -> int:
+        """Answer (up to) one micro-batch; returns completed queries."""
+        raise NotImplementedError
+
+    def submit_link(self, src: int, dst: int) -> PendingQuery:
+        """Probability that edge ``(src, dst)`` exists/appears."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        return self._submit(PendingQuery("link", (int(src), int(dst)),
+                                         self.clock()))
+
+    def submit_fraud(self, account: int) -> PendingQuery:
+        """Probability that ``account`` is a suspicious (laundering)
+        vertex, from the node-classification head."""
+        if self.fraud_head is None:
+            raise ConfigError("fraud queries need a fraud_head")
+        self._check_vertex(account)
+        return self._submit(PendingQuery("fraud", (int(account),),
+                                         self.clock()))
+
+    def _check_vertex(self, v: int) -> None:
+        """Reject bad ids at submit time: a negative id would silently
+        score the wrong vertex (numpy indexing) and an oversized one
+        would fail mid-flush, taking its co-batched queries with it."""
+        if not 0 <= int(v) < self.num_vertices:
+            raise ConfigError(
+                f"query vertex {v} outside the resident vertex set of "
+                f"size {self.num_vertices}")
+
+    def _submit(self, query: PendingQuery) -> PendingQuery:
+        if self._started_at is None:
+            self._started_at = query.enqueued_at
+        self._queue.append(query)
+        self.counters.queries_submitted += 1
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return query
+
+    def tick(self) -> int:
+        """Event-loop hook: flush if the oldest request is past the
+        latency budget.  Returns the number of completed queries."""
+        if not self._queue:
+            return 0
+        waited_ms = (self.clock() - self._queue[0].enqueued_at) * 1e3
+        if waited_ms >= self.flush_latency_ms:
+            return self.flush()
+        return 0
+
+    def drain(self) -> int:
+        """Flush until the queue is empty (end-of-stream helper)."""
+        total = 0
+        while self._queue:
+            total += self.flush()
+        return total
+
+
+class ModelServer(QueryFrontend):
     """Serves link-prediction and fraud-score queries over a live graph.
 
     Parameters
@@ -94,23 +210,14 @@ class ModelServer:
                  k_hops: int | None = None,
                  incremental: bool = True,
                  clock: Callable[[], float] = time.perf_counter) -> None:
-        if max_batch_size < 1:
-            raise ConfigError("max_batch_size must be >= 1")
-        if flush_latency_ms < 0:
-            raise ConfigError("flush_latency_ms must be >= 0")
+        self._init_frontend(max_batch_size, flush_latency_ms, clock)
         self.model = model
         self.engine = InferenceEngine(model, snapshot, k_hops=k_hops)
         self.ingestor = StreamIngestor(snapshot)
         self.link_head = link_head
         self.fraud_head = fraud_head
-        self.max_batch_size = max_batch_size
-        self.flush_latency_ms = flush_latency_ms
         self.incremental = incremental
-        self.clock = clock
         self.counters = ServerCounters()
-        self.latency = LatencyTracker()
-        self._queue: list[PendingQuery] = []
-        self._started_at: float | None = None
         self.engine.advance()  # prime embeddings for the initial snapshot
         self.counters.advances += 1
 
@@ -130,6 +237,10 @@ class ModelServer:
     def cache(self) -> EmbeddingCache:
         return self.engine.cache
 
+    @property
+    def num_vertices(self) -> int:
+        return self.engine.num_vertices
+
     def stats(self) -> ServerStats:
         now = self.clock()
         elapsed = (now - self._started_at) if self._started_at is not None \
@@ -137,6 +248,7 @@ class ModelServer:
         # copy the counters so the stats object really is point-in-time
         return ServerStats(counters=replace(self.counters),
                            latency_p50_ms=self.latency.p50,
+                           latency_p95_ms=self.latency.p95,
                            latency_p99_ms=self.latency.p99,
                            latency_mean_ms=self.latency.mean,
                            elapsed_s=elapsed)
@@ -169,50 +281,6 @@ class ModelServer:
         self.counters.rows_advanced += self.engine.num_vertices
 
     # -- queries ----------------------------------------------------------------------
-    def submit_link(self, src: int, dst: int) -> PendingQuery:
-        """Probability that edge ``(src, dst)`` exists/appears."""
-        self._check_vertex(src)
-        self._check_vertex(dst)
-        return self._submit(PendingQuery("link", (int(src), int(dst)),
-                                         self.clock()))
-
-    def submit_fraud(self, account: int) -> PendingQuery:
-        """Probability that ``account`` is a suspicious (laundering)
-        vertex, from the node-classification head."""
-        if self.fraud_head is None:
-            raise ConfigError("fraud queries need a fraud_head")
-        self._check_vertex(account)
-        return self._submit(PendingQuery("fraud", (int(account),),
-                                         self.clock()))
-
-    def _check_vertex(self, v: int) -> None:
-        """Reject bad ids at submit time: a negative id would silently
-        score the wrong vertex (numpy indexing) and an oversized one
-        would fail mid-flush, taking its co-batched queries with it."""
-        if not 0 <= int(v) < self.engine.num_vertices:
-            raise ConfigError(
-                f"query vertex {v} outside the resident vertex set of "
-                f"size {self.engine.num_vertices}")
-
-    def _submit(self, query: PendingQuery) -> PendingQuery:
-        if self._started_at is None:
-            self._started_at = query.enqueued_at
-        self._queue.append(query)
-        self.counters.queries_submitted += 1
-        if len(self._queue) >= self.max_batch_size:
-            self.flush()
-        return query
-
-    def tick(self) -> int:
-        """Event-loop hook: flush if the oldest request is past the
-        latency budget.  Returns the number of completed queries."""
-        if not self._queue:
-            return 0
-        waited_ms = (self.clock() - self._queue[0].enqueued_at) * 1e3
-        if waited_ms >= self.flush_latency_ms:
-            return self.flush()
-        return 0
-
     def flush(self) -> int:
         """Refresh the cache and answer every queued query in one batch."""
         if not self._queue:
@@ -243,13 +311,6 @@ class ModelServer:
             return len(batch) + self.flush()
         return len(batch)
 
-    def drain(self) -> int:
-        """Flush until the queue is empty (end-of-stream helper)."""
-        total = 0
-        while self._queue:
-            total += self.flush()
-        return total
-
     # -- scoring ----------------------------------------------------------------------
     def _refresh(self) -> None:
         cache = self.cache
@@ -264,18 +325,8 @@ class ModelServer:
             self.engine.num_vertices - recomputed
 
     def _score_links(self, z: np.ndarray, pairs: np.ndarray) -> np.ndarray:
-        if self.link_head is not None:
-            feats = np.concatenate([z[pairs[:, 0]], z[pairs[:, 1]]], axis=1)
-            logits = feats @ self.link_head.fc.weight.data
-            if self.link_head.fc.use_bias:
-                logits = logits + self.link_head.fc.bias.data
-            return _softmax_rows(logits)[:, 1]
-        dots = (z[pairs[:, 0]] * z[pairs[:, 1]]).sum(axis=1)
-        return 1.0 / (1.0 + np.exp(-dots))
+        return score_links(z, pairs, self.link_head)
 
     def _score_fraud(self, z: np.ndarray,
                      accounts: np.ndarray) -> np.ndarray:
-        logits = z[accounts] @ self.fraud_head.weight.data
-        if self.fraud_head.use_bias:
-            logits = logits + self.fraud_head.bias.data
-        return _softmax_rows(logits)[:, 1]
+        return score_fraud(z, accounts, self.fraud_head)

@@ -1,0 +1,190 @@
+"""Shard workers and replica sets.
+
+A :class:`ShardWorker` is one serving process in the simulated sharded
+tier: it owns a :class:`~repro.serve.sharded.engine.ShardEngine` over
+its vertex block, applies routed deltas, refreshes its dirty rows, and
+scores the queries the router assigns it.  Every unit of work is timed
+into ``busy_s`` — the per-worker busy clock from which the benchmark
+derives the tier's simulated-parallel critical path, exactly how the
+training side charges per-rank :class:`~repro.cluster.clock.RankClock`
+seconds.
+
+A :class:`ReplicaSet` wraps ``R`` identical workers for one shard.
+Writes (deltas, advances, halo imports) fan out to every replica — the
+cost of replication; reads (query scoring, ghost-row exports) go to the
+replica the least-loaded router policy picks.  The load signal is the
+replica's accumulated busy time, so routing is deterministic whenever
+the injected clock is.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.snapshot import GraphSnapshot
+from repro.models.base import DynamicGNN
+from repro.nn.linear import EdgeScorer, Linear
+from repro.serve.server import score_fraud, score_links
+from repro.serve.sharded.engine import ShardEngine
+
+__all__ = ["ShardWorker", "ReplicaSet"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class ShardWorker:
+    """One shard's serving process (engine + heads + busy clock)."""
+
+    def __init__(self, shard_id: int, replica_id: int, model: DynamicGNN,
+                 snapshot: GraphSnapshot, block: np.ndarray, *,
+                 link_head: EdgeScorer | None = None,
+                 fraud_head: Linear | None = None,
+                 k_hops: int | None = None,
+                 features: np.ndarray | None = None,
+                 dinv: np.ndarray | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.engine = ShardEngine(model, snapshot, block, k_hops=k_hops,
+                                  features=features, dinv=dinv)
+        self.link_head = link_head
+        self.fraud_head = fraud_head
+        self.clock = clock
+        self.busy_s = 0.0
+        self.rows_recomputed = 0
+        self.rows_advanced = 0
+        self.queries_scored = 0
+        self.deltas_applied = 0
+
+    # -- timing -----------------------------------------------------------------------
+    def _charge(self, t0: float) -> None:
+        self.busy_s += self.clock() - t0
+
+    # -- lifecycle --------------------------------------------------------------------
+    def begin_advance(self, snapshot: GraphSnapshot, features: np.ndarray,
+                      dinv: np.ndarray) -> None:
+        t0 = self.clock()
+        self.engine.begin_advance(snapshot, features=features, dinv=dinv)
+        self._charge(t0)
+
+    def finish_advance(self) -> None:
+        t0 = self.clock()
+        self.rows_advanced += self.engine.finish_advance()
+        self._charge(t0)
+
+    def apply_delta(self, snapshot: GraphSnapshot, features: np.ndarray,
+                    dinv: np.ndarray, dirty: np.ndarray) -> np.ndarray:
+        """Install the routed snapshot + pre-expanded dirty region.
+
+        Returns the rows newly pulled into this shard's halo (whose
+        frozen temporal state the exchange must import before the next
+        refresh touches them).
+        """
+        t0 = self.clock()
+        self.engine.set_snapshot(snapshot, seeds=_EMPTY, features=features,
+                                 dinv=dinv)
+        entrants = self.engine.relax_halo(dirty)
+        self.engine.cache.mark_dirty(self.engine.restrict_to_coverage(dirty))
+        self.deltas_applied += 1
+        self._charge(t0)
+        return entrants
+
+    def refresh(self) -> int:
+        """Recompute this shard's dirty rows; returns the row count."""
+        t0 = self.clock()
+        recomputed = self.engine.refresh()
+        self.rows_recomputed += recomputed
+        self._charge(t0)
+        return recomputed
+
+    # -- reads ------------------------------------------------------------------------
+    def embedding_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Served embedding rows (caller must route owned/covered rows;
+        the engine is authoritative for its block only)."""
+        t0 = self.clock()
+        out = self.engine.embeddings[rows]
+        self._charge(t0)
+        return out
+
+    def score(self, link_pairs: np.ndarray, link_dst_rows: np.ndarray,
+              fraud_accounts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Score a routed query group.
+
+        ``link_pairs`` are ``(src, dst)`` vertex ids with every ``src``
+        owned here; ``link_dst_rows`` carries the embedding rows of the
+        ``dst`` column (gathered remotely by the router when the owner
+        is another shard).  Returns (link scores, fraud scores).
+        """
+        t0 = self.clock()
+        z = self.engine.embeddings
+        link_scores = np.empty(0)
+        fraud_scores = np.empty(0)
+        if len(link_pairs):
+            stacked = np.concatenate([z[link_pairs[:, 0]], link_dst_rows],
+                                     axis=0)
+            m = len(link_pairs)
+            idx = np.stack([np.arange(m), np.arange(m, 2 * m)], axis=1)
+            link_scores = score_links(stacked, idx, self.link_head)
+        if len(fraud_accounts):
+            if self.fraud_head is None:
+                raise ConfigError("fraud queries need a fraud_head")
+            fraud_scores = score_fraud(z, fraud_accounts, self.fraud_head)
+        self.queries_scored += len(link_pairs) + len(fraud_accounts)
+        self._charge(t0)
+        return link_scores, fraud_scores
+
+
+class ReplicaSet:
+    """``R`` replicas of one shard behind least-loaded routing."""
+
+    def __init__(self, workers: list[ShardWorker]) -> None:
+        if not workers:
+            raise ConfigError("a replica set needs at least one worker")
+        self.workers = workers
+
+    @property
+    def primary(self) -> ShardWorker:
+        return self.workers[0]
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.workers)
+
+    def least_loaded(self) -> ShardWorker:
+        """Replica with the least accumulated busy time (deterministic
+        tie-break on replica id)."""
+        return min(self.workers, key=lambda w: (w.busy_s, w.replica_id))
+
+    # writes fan out to every replica
+    def begin_advance(self, snapshot, features, dinv) -> None:
+        for w in self.workers:
+            w.begin_advance(snapshot, features, dinv)
+
+    def finish_advance(self) -> None:
+        for w in self.workers:
+            w.finish_advance()
+
+    def apply_delta(self, snapshot, features, dinv, dirty) -> np.ndarray:
+        entrants = _EMPTY
+        for w in self.workers:
+            entrants = w.apply_delta(snapshot, features, dinv, dirty)
+        return entrants  # identical across replicas (same deterministic state)
+
+    def import_temporal(self, rows, payload) -> int:
+        """Install mirrored temporal rows on every replica; returns the
+        bytes of ONE transfer (replica fan-out is shard-internal, so
+        the cross-shard wire cost is counted once)."""
+        nbytes = 0
+        for w in self.workers:
+            nbytes = w.engine.import_temporal(rows, payload)
+        return nbytes
+
+    @property
+    def busy_s(self) -> float:
+        """Critical-path busy time across the replicas (they run in
+        parallel in a real deployment)."""
+        return max(w.busy_s for w in self.workers)

@@ -138,3 +138,45 @@ class TestHybridPartition:
             hybrid_partition(8, 40, num_ranks=4, group_size=3)
         with pytest.raises(PartitionError):
             hybrid_partition(8, 40, num_ranks=4, group_size=0)
+
+    def test_group_size_not_dividing_num_ranks(self):
+        # every non-divisor in range must be rejected, divisors accepted
+        for gs in range(1, 7):
+            if 6 % gs == 0:
+                assert hybrid_partition(6, 30, num_ranks=6,
+                                        group_size=gs).group_size == gs
+            else:
+                with pytest.raises(PartitionError):
+                    hybrid_partition(6, 30, num_ranks=6, group_size=gs)
+
+    def test_single_snapshot_input(self):
+        # T=1, two groups: group 0 owns the lone snapshot, group 1 idles
+        # (the §6.5 idle-rank limitation), rows still split in-group
+        plan = hybrid_partition(1, 20, num_ranks=4, group_size=2)
+        assert plan.timestep_assignment.owned == ((0,), ())
+        plan.timestep_assignment.validate()
+        assert plan.row_chunks.ranges == ((0, 10), (10, 20))
+        # single snapshot on a single group leaves nobody idle
+        solo = hybrid_partition(1, 20, num_ranks=2, group_size=2)
+        assert solo.timestep_assignment.owned == ((0,),)
+
+    def test_more_ranks_than_timesteps(self):
+        # P=8, T=3 with group_size 2 → 4 groups, one idle
+        plan = hybrid_partition(3, 20, num_ranks=8, group_size=2)
+        assert plan.timestep_assignment.owned == ((0,), (1,), (2,), ())
+        plan.timestep_assignment.validate()
+        owners = plan.timestep_assignment.owner_map()
+        assert owners.tolist() == [0, 1, 2]
+        # every rank still resolves to a group and a member slot
+        for rank in range(8):
+            g = plan.group_of_rank(rank)
+            assert rank in plan.groups[g]
+            assert plan.groups[g][plan.member_index(rank)] == rank
+
+    def test_group_wider_than_vertex_set(self):
+        # group_size > V: trailing members own empty row ranges but the
+        # ranges still tile the vertex set
+        plan = hybrid_partition(2, 5, num_ranks=8, group_size=8)
+        sizes = [plan.row_chunks.size(r) for r in range(8)]
+        assert sum(sizes) == 5
+        assert sizes[:5] == [1] * 5 and sizes[5:] == [0] * 3

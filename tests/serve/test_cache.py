@@ -79,3 +79,71 @@ class TestEmbeddingCache:
         cache = EmbeddingCache(4, num_layers=1)
         with pytest.raises(ConfigError):
             _ = cache.embeddings
+
+
+class TestSeedDeduplication:
+    """Repeated seeds within one tick are not re-walked (exact-safe:
+    a repeat's reach can only grow through edges whose own endpoints
+    are fresh seeds of the commit that added them)."""
+
+    def test_repeated_seed_skipped(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        walks = cache.invalidations
+        cache.invalidate(PATH, np.array([0]))   # same endpoint again
+        assert cache.invalidations == walks     # no second walk
+        assert cache.seeds_deduplicated == 1
+        np.testing.assert_array_equal(cache.dirty, [0, 1, 2])
+
+    def test_duplicate_seeds_within_one_batch(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0, 0, 0, 3]))
+        np.testing.assert_array_equal(cache.dirty, [0, 1, 2, 3, 4, 5])
+
+    def test_mixed_batch_walks_only_fresh_seeds(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        before = cache.rows_invalidated
+        cache.invalidate(PATH, np.array([0, 5]))   # 0 repeats, 5 fresh
+        assert cache.seeds_deduplicated == 1
+        # only 5's neighborhood was walked
+        assert cache.rows_invalidated - before == 3
+        np.testing.assert_array_equal(cache.dirty, [0, 1, 2, 3, 4, 5])
+
+    def test_coverage_stays_exact_when_topology_grows(self):
+        # edge (0, 4) lands between two invalidations of seed 0: its
+        # endpoints are seeds of the adding commit, so the repeat skip
+        # loses nothing
+        cache = EmbeddingCache(6, num_layers=1)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        grown = snap(6, [[i, i + 1] for i in range(5)] + [[0, 4]])
+        cache.invalidate(grown, np.array([0, 4]))
+        assert 3 in cache.dirty and 5 in cache.dirty
+
+    def test_clean_resets_dedup_window(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        cache.clean()
+        cache.invalidate(PATH, np.array([0]))
+        assert cache.seeds_deduplicated == 0
+        np.testing.assert_array_equal(cache.dirty, [0, 1, 2])
+
+
+class TestMarkDirty:
+    def test_unions_without_walking(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.mark_dirty(np.array([4, 1]))
+        np.testing.assert_array_equal(cache.dirty, [1, 4])
+
+    def test_empty_rows_noop(self):
+        cache = EmbeddingCache(6, num_layers=2)
+        cache.clean()
+        cache.mark_dirty(np.empty(0, dtype=np.int64))
+        assert cache.num_dirty == 0
+        assert cache.invalidations == 0

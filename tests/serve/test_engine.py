@@ -81,6 +81,36 @@ def test_incremental_equals_full_recompute_over_stream(stream20, name):
     assert partial_refreshes > 10
 
 
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_unflushed_events_settle_before_advance(stream20, name):
+    """Regression: events ingested but never refreshed before a
+    timestep boundary must not poison the promoted carries.  A lazy
+    engine (refreshes deferred past the boundary) must stay equal to an
+    eager one that refreshes after every event batch — the engine
+    settles pending dirty rows against the end-of-step graph before
+    promoting."""
+    dtdg = stream20
+    model = build_model(name, in_features=2, seed=0)
+    eager = InferenceEngine(model, dtdg[0])
+    lazy = InferenceEngine(model, dtdg[0])
+    eager.advance()
+    lazy.advance()
+    ingestor = StreamIngestor(dtdg[0])
+    for t in range(1, dtdg.num_timesteps):
+        events = events_between(ingestor.resident, dtdg[t])
+        chunk = max(1, len(events) // 3)
+        for lo in range(0, len(events), chunk):
+            ingestor.push_batch(events[lo:lo + chunk])
+            result = ingestor.commit()
+            eager.set_snapshot(result.snapshot, seeds=result.dirty)
+            eager.refresh()
+            # lazy accumulates dirt, deliberately never refreshed
+            lazy.set_snapshot(result.snapshot, seeds=result.dirty)
+        np.testing.assert_allclose(lazy.advance(), eager.advance(),
+                                   atol=1e-6,
+                                   err_msg=f"{name} stale carries at t={t}")
+
+
 def test_partial_aggregation_matches_spmm(stream20):
     """The searchsorted row-gather path == Laplacian SpMM rows."""
     dtdg = stream20

@@ -175,7 +175,9 @@ class TestStats:
         # first request waited 10 ms, second 0 ms
         assert stats.latency_p99_ms == pytest.approx(10.0, abs=0.5)
         assert stats.queries_per_second > 0
-        assert len(stats.row()) == 5
+        assert stats.latency_p50_ms <= stats.latency_p95_ms \
+            <= stats.latency_p99_ms
+        assert len(stats.row()) == 6
 
 
 class TestCheckpointBoot:
