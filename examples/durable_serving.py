@@ -1,0 +1,106 @@
+"""Durable serving: WAL-backed ingestion, time travel, crash recovery.
+
+The storage tier closes the gap between "fast in memory" and "survives
+a crash":
+
+1. simulate a bank's transaction history (AML-Sim) and persist it as a
+   :class:`repro.store.GraphStore` — a delta-log WAL plus compacted CSR
+   bases (the §3.2 graph-difference idea applied to durability),
+2. time-travel: materialize historical timesteps from the nearest base
+   and compare the footprint against naive per-snapshot storage,
+3. boot a :class:`repro.serve.ModelServer`, attach the store so every
+   ingested event batch is WAL-logged before acknowledgment, and
+   stream live transactions through it,
+4. kill the server mid-stream and ``recover()`` a new one from
+   (model checkpoint, newest engine capture, WAL tail replay) —
+   then verify the recovered embeddings match the "crashed" process
+   exactly.
+
+Run:  python examples/durable_serving.py
+"""
+
+import os
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro.graph import AMLSimConfig, generate_amlsim
+from repro.models import build_model
+from repro.serve import ModelServer, events_between
+from repro.store import GraphStore
+from repro.store.codec import snapshot_record_nbytes
+from repro.train import save_model_checkpoint
+
+SERVE_FROM_T = 6
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-durable-")
+    sim = generate_amlsim(AMLSimConfig(
+        num_accounts=800, num_timesteps=14, background_per_step=1200,
+        partner_persistence=0.92, activity_skew=0.4, seed=0))
+    dtdg = sim.dtdg
+
+    # -- 1. persist the history as a delta log -------------------------------
+    history_path = os.path.join(workdir, "history")
+    history = GraphStore.from_dtdg(history_path, dtdg, base_interval=4)
+    naive = sum(snapshot_record_nbytes(s) for s in dtdg.snapshots)
+    print(f"history: {dtdg.num_timesteps} timesteps, "
+          f"{dtdg.total_nnz} total edges")
+    print(f"  delta log  : {history.wal_nbytes:>9,} bytes "
+          f"(+ {history.base_nbytes:,} in compacted bases)")
+    print(f"  naive      : {naive:>9,} bytes "
+          f"({naive / history.wal_nbytes:.1f}x larger)")
+
+    # -- 2. time travel ------------------------------------------------------
+    t = dtdg.num_timesteps - 4
+    replayed_before = history.records_replayed
+    snap = history.replay_to(t)
+    print(f"time travel to t={t}: {snap.num_edges} edges, "
+          f"{history.records_replayed - replayed_before} log records "
+          f"replayed (nearest base + tail)")
+    assert snap == dtdg[t]
+
+    # -- 3. serve with an attached store -------------------------------------
+    model = build_model("cdgcn", in_features=2, hidden=12, embed_dim=12,
+                        seed=0)
+    ckpt = save_model_checkpoint(os.path.join(workdir, "model.npz"),
+                                 model, "cdgcn")
+    server = ModelServer(model, dtdg[SERVE_FROM_T])
+    live_path = os.path.join(workdir, "live")
+    server.attach_store(GraphStore.create(live_path,
+                                          dtdg.num_vertices,
+                                          base_interval=4),
+                        state_interval=2)
+    for t in range(SERVE_FROM_T + 1, dtdg.num_timesteps):
+        server.advance_time()
+        events = events_between(dtdg[t - 1], dtdg[t])
+        for i in range(0, len(events), 200):
+            server.ingest_events(events[i:i + 200])
+    print(f"served {server.counters.events_ingested} events across "
+          f"{server.counters.advances} timestep boundaries "
+          f"(all WAL-logged before acknowledgment)")
+
+    # -- 4. crash + recover --------------------------------------------------
+    server.cache.invalidate_all()
+    server.engine.refresh()   # settle pending rows for the comparison
+    pre_crash = server.engine.embeddings.copy()
+    del server  # the process is gone; only the store survives
+
+    recovered = ModelServer.recover(GraphStore.open(live_path),
+                                    checkpoint=ckpt)
+    recovered.cache.invalidate_all()
+    recovered.engine.refresh()
+    divergence = float(np.abs(recovered.engine.embeddings
+                              - pre_crash).max())
+    print(f"recovered server: steps={recovered.engine.steps}, "
+          f"resident nnz={recovered.ingestor.resident.num_edges}, "
+          f"embedding divergence vs pre-crash = {divergence:.2e}")
+    assert divergence < 1e-6
+
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,9 @@ Subpackages
     Streaming inference: live edge-event ingestion via graph-difference
     deltas, a k-hop-invalidated embedding cache, and a micro-batching
     model server for link-prediction and fraud-score queries.
+``repro.store``
+    Temporal graph store: append-only delta-log WAL, CSR snapshot
+    compaction, time-travel views, and crash-recoverable serving state.
 ``repro.bench``
     Harness that regenerates every table and figure of the paper, plus
     the serving replay workload.

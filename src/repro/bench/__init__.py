@@ -14,6 +14,8 @@ from repro.bench.serving import (ServingBenchResult, ServingWorkloadConfig,
 from repro.bench.sharded import (ShardedBenchResult, ShardedScalePoint,
                                  ShardedWorkloadConfig,
                                  run_sharded_benchmark)
+from repro.bench.store import (StoreBenchResult, StoreWorkloadConfig,
+                               run_store_benchmark)
 
 __all__ = [
     "PointSpec", "run_point", "speedup_series", "cached_point",
@@ -26,4 +28,5 @@ __all__ = [
     "build_query_plan", "replay_stream", "run_serving_benchmark",
     "ShardedWorkloadConfig", "ShardedScalePoint", "ShardedBenchResult",
     "run_sharded_benchmark",
+    "StoreWorkloadConfig", "StoreBenchResult", "run_store_benchmark",
 ]

@@ -48,3 +48,8 @@ class ConfigError(ReproError):
 
 class DatasetError(ReproError):
     """Dataset construction or validation failure."""
+
+
+class StoreError(ReproError):
+    """Temporal graph store failure: corrupt WAL record, checksum
+    mismatch, or a log that does not apply to the resident state."""

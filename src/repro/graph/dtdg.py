@@ -17,7 +17,27 @@ import numpy as np
 from repro.errors import DatasetError
 from repro.graph.snapshot import GraphSnapshot
 
-__all__ = ["DTDG", "DTDGStats"]
+__all__ = ["DTDG", "DTDGStats", "validate_feature_frames"]
+
+
+def validate_feature_frames(features, num_vertices: int,
+                            num_timesteps: int) -> list[np.ndarray]:
+    """Coerce and shape-check per-timestep feature frames.
+
+    The single validation both :class:`DTDG` and the store's lazy
+    ``StoreView`` apply: one ``(N, F)`` float frame per timestep.
+    """
+    frames = [np.asarray(f, dtype=np.float64) for f in features]
+    if len(frames) != num_timesteps:
+        raise DatasetError(
+            f"{len(frames)} feature frames for {num_timesteps} snapshots")
+    dim = frames[0].shape[1] if frames[0].ndim == 2 else None
+    for i, f in enumerate(frames):
+        if f.ndim != 2 or f.shape[0] != num_vertices or f.shape[1] != dim:
+            raise DatasetError(
+                f"feature frame {i} has shape {f.shape}; expected "
+                f"({num_vertices}, {dim})")
+    return frames
 
 
 @dataclass(frozen=True)
@@ -98,19 +118,8 @@ class DTDG:
 
     # -- features ---------------------------------------------------------------------
     def set_features(self, features: Sequence[np.ndarray]) -> None:
-        frames = [np.asarray(f, dtype=np.float64) for f in features]
-        if len(frames) != len(self.snapshots):
-            raise DatasetError(
-                f"{len(frames)} feature frames for "
-                f"{len(self.snapshots)} snapshots")
-        n = self.num_vertices
-        dim = frames[0].shape[1] if frames[0].ndim == 2 else None
-        for i, f in enumerate(frames):
-            if f.ndim != 2 or f.shape[0] != n or f.shape[1] != dim:
-                raise DatasetError(
-                    f"feature frame {i} has shape {f.shape}; expected "
-                    f"({n}, {dim})")
-        self.features = frames
+        self.features = validate_feature_frames(
+            features, self.num_vertices, len(self.snapshots))
 
     # -- statistics ----------------------------------------------------------------------
     def mean_topology_overlap(self) -> float:

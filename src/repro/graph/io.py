@@ -1,8 +1,14 @@
-"""Persist DTDGs to a single ``.npz`` archive.
+"""Persist DTDGs through the temporal graph store.
 
-Format: per-snapshot edge arrays and values plus optional feature frames,
-all under deterministic keys, so generated benchmark inputs can be cached
-between runs.
+:func:`save_dtdg` writes a :class:`~repro.store.store.GraphStore`
+directory: the timeline lands as a checksummed delta log (one GD record
+per timestep) plus periodic CSR bases, so a saved DTDG is both smaller
+than the legacy one-array-per-snapshot ``.npz`` and time-travelable
+without loading the whole archive.  :func:`load_dtdg` reads either
+format — store directories and legacy ``.npz`` archives — returning a
+fully materialized :class:`~repro.graph.dtdg.DTDG` (use
+``GraphStore.open(path).window(...)`` directly for lazy, out-of-core
+access).
 """
 
 from __future__ import annotations
@@ -11,15 +17,57 @@ import os
 
 import numpy as np
 
-from repro.errors import DatasetError
+from repro.errors import DatasetError, StoreError
 from repro.graph.dtdg import DTDG
 from repro.graph.snapshot import GraphSnapshot
 
 __all__ = ["save_dtdg", "load_dtdg"]
 
 
-def save_dtdg(dtdg: DTDG, path: str) -> None:
-    """Write a DTDG (and its features, if attached) to ``path``."""
+def save_dtdg(dtdg: DTDG, path: str, *,
+              base_interval: int | None = 8) -> None:
+    """Write a DTDG (and its features, if attached) as a graph store
+    directory at ``path``, replacing whatever a previous save left
+    there (matching the legacy writer's overwrite semantics — cached
+    benchmark inputs get regenerated in place)."""
+    import shutil
+
+    from repro.store import GraphStore
+    if os.path.isdir(path) and os.path.exists(os.path.join(path,
+                                                           "wal.log")):
+        shutil.rmtree(path)  # a previous save's store directory
+    elif os.path.isfile(path):
+        os.remove(path)      # a legacy single-file archive
+    try:
+        GraphStore.from_dtdg(path, dtdg, base_interval=base_interval)
+    except StoreError as exc:
+        raise DatasetError(f"cannot write DTDG store at {path}: "
+                           f"{exc}") from exc
+
+
+def load_dtdg(path: str) -> DTDG:
+    """Read a DTDG written by :func:`save_dtdg` (either format)."""
+    if os.path.isdir(path):
+        from repro.store import GraphStore
+        try:
+            store = GraphStore.open(path)
+            view = store.window()
+            return DTDG(list(view.snapshots), view.features,
+                        name=store.name)
+        except StoreError as exc:
+            raise DatasetError(f"unreadable DTDG store at {path}: "
+                               f"{exc}") from exc
+    if not os.path.exists(path):
+        raise DatasetError(f"no such DTDG archive: {path}")
+    return _load_dtdg_npz(path)
+
+
+# ---------------------------------------------------------------------------
+# legacy single-file .npz format (read support kept; _save kept for tests)
+# ---------------------------------------------------------------------------
+
+def _save_dtdg_npz(dtdg: DTDG, path: str) -> None:
+    """Write the legacy one-array-per-snapshot ``.npz`` archive."""
     payload: dict[str, np.ndarray] = {
         "meta": np.array([dtdg.num_vertices, dtdg.num_timesteps,
                           1 if dtdg.features is not None else 0],
@@ -35,10 +83,8 @@ def save_dtdg(dtdg: DTDG, path: str) -> None:
     np.savez_compressed(path, **payload)
 
 
-def load_dtdg(path: str) -> DTDG:
-    """Read a DTDG previously written by :func:`save_dtdg`."""
-    if not os.path.exists(path):
-        raise DatasetError(f"no such DTDG archive: {path}")
+def _load_dtdg_npz(path: str) -> DTDG:
+    """Read a legacy archive written by :func:`_save_dtdg_npz`."""
     with np.load(path, allow_pickle=False) as archive:
         n, t_count, has_features = archive["meta"]
         name = str(archive["name"][0])

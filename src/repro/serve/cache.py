@@ -91,7 +91,8 @@ class EmbeddingCache:
     """
 
     def __init__(self, num_vertices: int, num_layers: int,
-                 k_hops: int | None = None) -> None:
+                 k_hops: int | None = None, *,
+                 max_rows: int | None = None) -> None:
         if num_layers < 1:
             raise ConfigError("num_layers must be >= 1")
         k = num_layers if k_hops is None else k_hops
@@ -99,9 +100,12 @@ class EmbeddingCache:
             raise ConfigError(
                 f"k_hops={k} below num_layers={num_layers} would serve "
                 f"stale rows; exactness needs k >= depth")
+        if max_rows is not None and max_rows < 1:
+            raise ConfigError(f"max_rows must be >= 1, got {max_rows}")
         self.num_vertices = num_vertices
         self.num_layers = num_layers
         self.k_hops = k
+        self.max_rows = max_rows
         self.features: np.ndarray | None = None
         self.layer_outputs: list[np.ndarray] = []
         self.pre_carry: list = []
@@ -111,9 +115,18 @@ class EmbeddingCache:
         # is redundant (see invalidate) and bursts of events sharing
         # endpoints are common in transaction streams
         self._expanded: np.ndarray = np.empty(0, dtype=np.int64)
+        # LRU bookkeeping for bounded-memory serving: a logical clock
+        # stamped onto rows as they are read, plus the evicted
+        # (logically non-resident) row set
+        self._last_used = np.zeros(num_vertices, dtype=np.int64)
+        self._use_clock = 0
+        self._evicted: np.ndarray = np.empty(0, dtype=np.int64)
         self.invalidations = 0
         self.rows_invalidated = 0
         self.seeds_deduplicated = 0
+        self.evictions = 0
+        self.rows_evicted = 0
+        self.rows_reloaded = 0
 
     # -- dirty tracking ------------------------------------------------------------
     @property
@@ -151,6 +164,7 @@ class EmbeddingCache:
             return self._dirty
         region = expand_dirty(snapshot, fresh, self.k_hops)
         self._dirty = np.union1d(self._dirty, region)
+        self._reclaim(region)
         self._expanded = np.union1d(self._expanded, fresh)
         self.invalidations += 1
         self.rows_invalidated += len(region)
@@ -165,14 +179,25 @@ class EmbeddingCache:
             return self._dirty
         if not self.all_dirty:
             self._dirty = np.union1d(self._dirty, rows)
+            self._reclaim(rows)
             self.invalidations += 1
             self.rows_invalidated += len(rows)
         return self._dirty
 
     def invalidate_all(self) -> None:
         self._dirty = np.arange(self.num_vertices, dtype=np.int64)
+        self._evicted = np.empty(0, dtype=np.int64)
         self.invalidations += 1
         self.rows_invalidated += self.num_vertices
+
+    def _reclaim(self, rows: np.ndarray) -> None:
+        """Pull ``rows`` back out of the evicted set when they get
+        dirtied: a dirty row *will* be recomputed at the next refresh,
+        and exactness demands it — rows inside an invalidation cone
+        feed other dirty rows' aggregations, so their stored layer
+        outputs must never be left stale, evicted or not."""
+        if len(self._evicted):
+            self._evicted = np.setdiff1d(self._evicted, rows)
 
     def clean(self) -> np.ndarray:
         """Consume the dirty set (the engine recomputed those rows)."""
@@ -180,6 +205,68 @@ class EmbeddingCache:
         self._dirty = np.empty(0, dtype=np.int64)
         self._expanded = np.empty(0, dtype=np.int64)
         return out
+
+    # -- bounded-memory eviction ---------------------------------------------------
+    # Eviction is *lazy*: a victim leaves the logically resident set
+    # (its storage stays allocated in this in-process simulation) but
+    # is NOT recomputed until a read actually touches it — touch()
+    # reloads it into the dirty set, and the pre-read refresh recomputes
+    # it.  Bounded memory is traded for on-demand recompute, never for
+    # staleness, and rows nobody asks for again cost nothing.
+
+    @property
+    def evicted(self) -> np.ndarray:
+        return self._evicted
+
+    @property
+    def num_evicted(self) -> int:
+        return len(self._evicted)
+
+    def touch(self, rows: np.ndarray | None) -> None:
+        """Stamp ``rows`` (``None`` = every row) as recently read and
+        reload any of them that were evicted (cache miss → the row goes
+        dirty and the next refresh recomputes it before it is served).
+
+        Only *reads* count as use — recomputation does not, or refresh
+        sweeps would stamp victims most-recent and invert the LRU
+        order.  A no-op unless ``max_rows`` bounds the resident set.
+        """
+        if self.max_rows is None:
+            return
+        self._use_clock += 1
+        if rows is None:
+            self._last_used[:] = self._use_clock
+            rows = self._evicted
+        elif len(rows):
+            self._last_used[rows] = self._use_clock
+        if rows is None or len(rows) == 0 or len(self._evicted) == 0:
+            return
+        misses = np.intersect1d(rows, self._evicted)
+        if len(misses):
+            self._evicted = np.setdiff1d(self._evicted, misses,
+                                         assume_unique=True)
+            self._dirty = np.union1d(self._dirty, misses)
+            self.rows_reloaded += len(misses)
+
+    def maybe_evict(self) -> int:
+        """Trim the clean resident set down to ``max_rows`` by moving
+        the least-recently-read rows to the evicted set; returns how
+        many were evicted."""
+        if self.max_rows is None:
+            return 0
+        resident = np.setdiff1d(
+            np.setdiff1d(np.arange(self.num_vertices, dtype=np.int64),
+                         self._dirty, assume_unique=True),
+            self._evicted, assume_unique=True)
+        excess = len(resident) - self.max_rows
+        if excess <= 0:
+            return 0
+        order = np.argsort(self._last_used[resident], kind="stable")
+        victims = resident[order[:excess]]
+        self._evicted = np.union1d(self._evicted, victims)
+        self.evictions += 1
+        self.rows_evicted += len(victims)
+        return len(victims)
 
     # -- embeddings ----------------------------------------------------------------
     @property

@@ -108,7 +108,8 @@ class InferenceEngine:
     def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot,
                  k_hops: int | None = None, *,
                  features: np.ndarray | None = None,
-                 dinv: np.ndarray | None = None) -> None:
+                 dinv: np.ndarray | None = None,
+                 cache_max_rows: int | None = None) -> None:
         if model.in_features != 2:
             raise ConfigError(
                 "serving computes in/out-degree features from the event "
@@ -117,7 +118,8 @@ class InferenceEngine:
         self.kind = self._detect_kind(model)
         self.layers = self._extract_layers(model)
         self.cache = EmbeddingCache(snapshot.num_vertices,
-                                    model.num_layers, k_hops)
+                                    model.num_layers, k_hops,
+                                    max_rows=cache_max_rows)
         self.steps = 0
         self._primed = False
         self._resident: GraphSnapshot | None = None

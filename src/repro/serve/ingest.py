@@ -25,7 +25,8 @@ from repro.errors import ConfigError, DatasetError
 from repro.graph.diff import SnapshotDiff, diff_snapshots
 from repro.graph.snapshot import GraphSnapshot
 
-__all__ = ["EdgeEvent", "IngestResult", "StreamIngestor", "events_between"]
+__all__ = ["EdgeEvent", "IngestResult", "StreamIngestor",
+           "events_between", "fold_event_batch"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,54 @@ class EdgeEvent:
     def __post_init__(self) -> None:
         if self.op not in ("add", "remove"):
             raise ConfigError(f"unknown edge-event op {self.op!r}")
+
+
+def fold_event_batch(snapshot: GraphSnapshot, events: Iterable[EdgeEvent]
+                     ) -> tuple[GraphSnapshot, np.ndarray]:
+    """Fold an event batch into a snapshot; returns the new snapshot
+    and the sorted touched-vertex array.
+
+    This is THE event-fold semantics — repeated adds accumulate, a
+    removal drops the base edge *and* any adds buffered before it
+    (making remove+add an exact value replacement) — shared by the live
+    :class:`StreamIngestor` and the temporal store's WAL replay
+    (:mod:`repro.store.codec`), which must reconstruct bit-identical
+    snapshots from the same batches.
+    """
+    n = snapshot.num_vertices
+    add_value: dict[tuple[int, int], float] = {}
+    removed: set[tuple[int, int]] = set()
+    touched: set[int] = set()
+    for event in events:
+        key = (int(event.src), int(event.dst))
+        if not (0 <= key[0] < n and 0 <= key[1] < n):
+            raise DatasetError(
+                f"event endpoint {key} outside the vertex set of size {n}")
+        touched.update(key)
+        if event.op == "add":
+            add_value[key] = add_value.get(key, 0.0) + event.value
+        else:
+            add_value.pop(key, None)
+            removed.add(key)
+
+    keep = np.ones(snapshot.num_edges, dtype=bool)
+    if removed:
+        removed_arr = np.array(sorted(removed), dtype=np.int64)
+        prev_keys = snapshot.edges[:, 0] * np.int64(n) \
+            + snapshot.edges[:, 1]
+        removed_keys = removed_arr[:, 0] * np.int64(n) + removed_arr[:, 1]
+        keep = ~np.isin(prev_keys, removed_keys, assume_unique=False)
+    if add_value:
+        added_arr = np.array(sorted(add_value), dtype=np.int64)
+        added_vals = np.array([add_value[tuple(e)] for e in
+                               added_arr.tolist()], dtype=np.float64)
+        edges = np.concatenate([snapshot.edges[keep], added_arr], axis=0)
+        values = np.concatenate([snapshot.values[keep], added_vals])
+    else:
+        edges = snapshot.edges[keep]
+        values = snapshot.values[keep]
+    curr = GraphSnapshot(n, edges, values)
+    return curr, np.array(sorted(touched), dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -141,48 +190,16 @@ class StreamIngestor:
             diff = diff_snapshots(prev, prev)
             return IngestResult(prev, diff, empty, 0)
 
-        n = prev.num_vertices
-        add_value: dict[tuple[int, int], float] = {}
-        removed: set[tuple[int, int]] = set()
-        touched: set[int] = set()
-        for event in events:
-            key = (int(event.src), int(event.dst))
-            touched.update(key)
-            if event.op == "add":
-                add_value[key] = add_value.get(key, 0.0) + event.value
-            else:
-                # a removal drops the base edge *and* any adds buffered
-                # so far; later adds start from a clean slate (this makes
-                # remove+add an exact value replacement)
-                add_value.pop(key, None)
-                removed.add(key)
-
-        keep = np.ones(prev.num_edges, dtype=bool)
-        if removed:
-            removed_arr = np.array(sorted(removed), dtype=np.int64)
-            prev_keys = prev.edges[:, 0] * np.int64(n) + prev.edges[:, 1]
-            removed_keys = removed_arr[:, 0] * np.int64(n) + removed_arr[:, 1]
-            keep = ~np.isin(prev_keys, removed_keys, assume_unique=False)
-        if add_value:
-            added_arr = np.array(sorted(add_value), dtype=np.int64)
-            added_vals = np.array([add_value[tuple(e)] for e in
-                                   added_arr.tolist()], dtype=np.float64)
-            edges = np.concatenate([prev.edges[keep], added_arr], axis=0)
-            values = np.concatenate([prev.values[keep], added_vals])
-        else:
-            edges = prev.edges[keep]
-            values = prev.values[keep]
-        curr = GraphSnapshot(n, edges, values)
+        curr, dirty = fold_event_batch(prev, events)
 
         # encode the transition in the GD wire format and replay it onto
         # the resident copy — the same path a remote mirror would take
         diff = diff_snapshots(prev, curr)
         self._resident = curr
-        self._frontier.update(touched)
+        self._frontier.update(dirty.tolist())
         self.total_events += len(events)
         self.total_commits += 1
         self.total_payload_nbytes += diff.payload_nbytes
-        dirty = np.array(sorted(touched), dtype=np.int64)
         return IngestResult(curr, diff, dirty, len(events))
 
 

@@ -24,7 +24,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StoreError
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.nn.linear import EdgeScorer, Linear
@@ -32,6 +32,8 @@ from repro.serve.cache import EmbeddingCache
 from repro.serve.engine import InferenceEngine
 from repro.serve.ingest import EdgeEvent, StreamIngestor
 from repro.serve.metrics import LatencyTracker, ServerCounters, ServerStats
+from repro.store.recovery import (capture_engine_state,
+                                  restore_engine_state)
 
 __all__ = ["PendingQuery", "QueryFrontend", "ModelServer", "score_links",
            "score_fraud"]
@@ -114,6 +116,9 @@ class QueryFrontend:
         self.latency = LatencyTracker()
         self._queue: list[PendingQuery] = []
         self._started_at: float | None = None
+        self.store = None            # attached GraphStore (durability)
+        self._store_state_interval = 1
+        self._store_replaying = False
 
     @property
     def num_vertices(self) -> int:
@@ -174,6 +179,112 @@ class QueryFrontend:
             total += self.flush()
         return total
 
+    # -- durability plumbing (shared by ModelServer and ShardedServer) -----------
+    def attach_store(self, store, *, state_interval: int = 1,
+                     capture: bool = True) -> None:
+        """Make ingestion durable through a
+        :class:`~repro.store.store.GraphStore`.
+
+        Every subsequent event batch is WAL-logged *before* it is
+        acknowledged and every ``advance_time`` seals a timestep, so
+        ``recover()`` can reboot an identical server after a crash.  A
+        fresh store adopts the current resident snapshot as its sealed
+        step 0; a non-empty store must already be at the resident state
+        (its live tip is checked against the resident).
+        ``state_interval`` controls how many timestep boundaries pass
+        between engine-state captures (the recovery "bases"); the
+        initial capture happens here unless ``capture=False``.
+        """
+        if store.num_vertices != self.num_vertices:
+            raise ConfigError(
+                f"store covers {store.num_vertices} vertices, server "
+                f"resident has {self.num_vertices}")
+        resident = self.ingestor.resident
+        if store.num_timesteps == 0 and store.wal.num_records <= 1:
+            store.append_snapshot(resident)
+        elif not (store.tip == resident):
+            raise ConfigError(
+                "store tip does not match the resident snapshot; "
+                "recover() from the store instead of attaching it")
+        self.store = store
+        self._store_state_interval = max(1, int(state_interval))
+        if capture:
+            self._capture_store_state()
+
+    def _capture_state(self) -> tuple[dict, dict]:
+        """(meta, arrays) snapshot of the serving-engine state — the
+        tier-specific half of the durability plumbing."""
+        raise NotImplementedError
+
+    def _capture_store_state(self) -> None:
+        meta, arrays = self._capture_state()
+        self.store.save_engine_state(meta, arrays)
+
+    def _store_log_events(self, events: list) -> None:
+        """WAL the batch before it is applied or acknowledged."""
+        if self.store is not None and not self._store_replaying and events:
+            self.store.append_events(events)
+
+    def _store_log_boundary(self, snapshot) -> None:
+        """Seal a WAL timestep at an ``advance_time`` boundary (a
+        rebase snapshot lands as a GD delta record)."""
+        if self.store is None or self._store_replaying:
+            return
+        if snapshot is not None:
+            self.store.append_snapshot(snapshot)
+        else:
+            self.store.seal_step()
+
+    def _store_maybe_capture(self) -> None:
+        """Capture engine state every ``state_interval`` boundaries."""
+        if self.store is not None and not self._store_replaying and \
+                self.counters.advances % self._store_state_interval == 0:
+            self._capture_store_state()
+
+    @staticmethod
+    def _recovery_state(store, checkpoint, model, kwargs):
+        """Shared ``recover()`` prologue: resolve the model/heads from
+        a checkpoint, fetch the newest engine capture, and materialize
+        the resident graph at the capture point."""
+        if checkpoint is not None:
+            from repro.train.checkpoint import load_model_checkpoint
+            ckpt = load_model_checkpoint(checkpoint)
+            model = ckpt.model if model is None else model
+            kwargs.setdefault("link_head", ckpt.link_head)
+            kwargs.setdefault("fraud_head", ckpt.fraud_head)
+        if model is None:
+            raise ConfigError("recover needs a checkpoint path or a model")
+        state = store.latest_engine_state()
+        if state is None:
+            raise StoreError(
+                "store holds no engine-state capture; serve with "
+                "attach_store(...) so recovery has a starting point")
+        meta, arrays = state
+        resident = store._state_at_record(meta["record_index"])
+        return model, meta, arrays, resident
+
+    def _replay_store_tail(self, store, record_index: int,
+                           state_interval: int) -> None:
+        """Re-run the WAL ops after ``record_index`` through the normal
+        ingest/advance paths (with logging suspended), then re-attach
+        the store and capture the recovered state."""
+        self.store = store
+        self._store_state_interval = max(1, int(state_interval))
+        self._store_replaying = True
+        try:
+            # the resident IS the state at record_index (recovery just
+            # materialized it) — hand it over so the tail replay does
+            # not rebuild the log prefix a second time
+            for op, payload in store.replay_tail(
+                    record_index, start=self.ingestor.resident):
+                if op == "events":
+                    self.ingest_events(payload)
+                else:
+                    self.advance_time(payload)
+        finally:
+            self._store_replaying = False
+        self._capture_store_state()
+
 
 class ModelServer(QueryFrontend):
     """Serves link-prediction and fraud-score queries over a live graph.
@@ -209,10 +320,12 @@ class ModelServer(QueryFrontend):
                  flush_latency_ms: float = 2.0,
                  k_hops: int | None = None,
                  incremental: bool = True,
+                 cache_max_rows: int | None = None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         self._init_frontend(max_batch_size, flush_latency_ms, clock)
         self.model = model
-        self.engine = InferenceEngine(model, snapshot, k_hops=k_hops)
+        self.engine = InferenceEngine(model, snapshot, k_hops=k_hops,
+                                      cache_max_rows=cache_max_rows)
         self.ingestor = StreamIngestor(snapshot)
         self.link_head = link_head
         self.fraud_head = fraud_head
@@ -231,6 +344,34 @@ class ModelServer(QueryFrontend):
         kwargs.setdefault("link_head", ckpt.link_head)
         kwargs.setdefault("fraud_head", ckpt.fraud_head)
         return cls(ckpt.model, snapshot, **kwargs)
+
+    # -- durability ----------------------------------------------------------------
+    # attach_store (WAL-before-ack, timestep seals, periodic captures)
+    # is inherited from QueryFrontend; this class supplies the capture
+    # payload and the recovery assembly.
+    def _capture_state(self) -> tuple[dict, dict]:
+        return capture_engine_state(self.engine)
+
+    @classmethod
+    def recover(cls, store, *, checkpoint: str | None = None,
+                model: DynamicGNN | None = None,
+                state_interval: int = 1, **kwargs) -> "ModelServer":
+        """Reboot a crashed server from (model checkpoint, newest
+        engine-state capture, WAL tail replay).
+
+        The recovered server's resident graph, temporal state and
+        served embeddings equal the pre-crash server's exactly: the
+        capture restores the per-vertex arrays bit-for-bit and the tail
+        ops re-run through the same ``ingest_events`` /
+        ``advance_time`` numerics.
+        """
+        model, meta, arrays, resident = cls._recovery_state(
+            store, checkpoint, model, kwargs)
+        server = cls(model, resident, **kwargs)
+        restore_engine_state(server.engine, meta, arrays)
+        server._replay_store_tail(store, meta["record_index"],
+                                  state_interval)
+        return server
 
     # -- cache plumbing ------------------------------------------------------------
     @property
@@ -257,10 +398,14 @@ class ModelServer(QueryFrontend):
     def ingest_events(self, events: Iterable[EdgeEvent]) -> int:
         """Fold live edge events into the resident graph.
 
-        The embedding cache is invalidated (k-hop) but not refreshed —
-        recomputation is deferred to the next flush so event bursts
-        coalesce into one partial recompute.
+        With a store attached the batch is WAL-logged *before* it is
+        applied (and before this method returns — ingestion is only
+        acknowledged once durable).  The embedding cache is invalidated
+        (k-hop) but not refreshed — recomputation is deferred to the
+        next flush so event bursts coalesce into one partial recompute.
         """
+        events = list(events)
+        self._store_log_events(events)
         count = self.ingestor.push_batch(events)
         result = self.ingestor.commit()
         self.counters.events_ingested += result.num_events
@@ -273,12 +418,18 @@ class ModelServer(QueryFrontend):
 
     def advance_time(self, snapshot: GraphSnapshot | None = None) -> None:
         """Cross a timestep boundary: temporal carries move forward and
-        every row recomputes (both serving modes pay this)."""
+        every row recomputes (both serving modes pay this).  With a
+        store attached the boundary seals a timestep in the WAL (a
+        rebase snapshot lands as a GD delta) and the engine state is
+        captured every ``state_interval`` boundaries."""
+        self._store_log_boundary(snapshot)
         self.engine.advance(snapshot)
         if snapshot is not None:
             self.ingestor.rebase(snapshot)
         self.counters.advances += 1
         self.counters.rows_advanced += self.engine.num_vertices
+        self._evict()
+        self._store_maybe_capture()
 
     # -- queries ----------------------------------------------------------------------
     def flush(self) -> int:
@@ -287,6 +438,10 @@ class ModelServer(QueryFrontend):
             return 0
         batch, self._queue = self._queue[:self.max_batch_size], \
             self._queue[self.max_batch_size:]
+        touched = {v for q in batch for v in
+                   (q.payload if q.kind == "link" else q.payload[:1])}
+        self.cache.touch(np.fromiter(touched, dtype=np.int64,
+                                     count=len(touched)))
         self._refresh()
         z = self.engine.embeddings
         links = [(i, q) for i, q in enumerate(batch) if q.kind == "link"]
@@ -315,6 +470,7 @@ class ModelServer(QueryFrontend):
     def _refresh(self) -> None:
         cache = self.cache
         if cache.num_dirty == 0:
+            self._evict()
             return
         if not self.incremental:
             cache.invalidate_all()
@@ -323,6 +479,14 @@ class ModelServer(QueryFrontend):
         self.counters.rows_recomputed += recomputed
         self.counters.rows_served_from_cache += \
             self.engine.num_vertices - recomputed
+        self._evict()
+
+    def _evict(self) -> None:
+        """Bound the resident row set (no-op without ``cache_max_rows``)."""
+        evicted = self.cache.maybe_evict()
+        if evicted:
+            self.counters.evictions += 1
+            self.counters.rows_evicted += evicted
 
     def _score_links(self, z: np.ndarray, pairs: np.ndarray) -> np.ndarray:
         return score_links(z, pairs, self.link_head)

@@ -52,6 +52,8 @@ from repro.serve.server import QueryFrontend
 from repro.serve.sharded.halo import HaloExchange, HaloTraffic
 from repro.serve.sharded.plan import ShardPlan
 from repro.serve.sharded.worker import ReplicaSet, ShardWorker
+from repro.store.recovery import (capture_sharded_state,
+                                  unpack_sharded_state)
 
 __all__ = ["ShardedCounters", "ShardedStats", "ShardedServer"]
 
@@ -192,6 +194,45 @@ class ShardedServer(QueryFrontend):
         kwargs.setdefault("fraud_head", ckpt.fraud_head)
         return cls(ckpt.model, snapshot, **kwargs)
 
+    # -- durability ----------------------------------------------------------------
+    # attach_store (WAL-before-ack, timestep seals, periodic captures)
+    # is inherited from QueryFrontend — the router owns the tier's
+    # authoritative topology mirror, so it also owns the WAL; this
+    # class supplies the per-shard capture payload and the recovery
+    # assembly.
+    def _capture_state(self) -> tuple[dict, dict]:
+        return capture_sharded_state(self)
+
+    @classmethod
+    def recover(cls, store, *, checkpoint: str | None = None,
+                model: DynamicGNN | None = None,
+                state_interval: int = 1, **kwargs) -> "ShardedServer":
+        """Reboot a crashed sharded tier from (model checkpoint, newest
+        per-shard state capture, WAL tail replay).
+
+        The capture carries the shard plan that was live at crash time
+        (rebalances included), every shard's owned-row export, and the
+        pending dirty rows; workers are reassembled with the
+        rebalancer's exact state-transplant path and the WAL tail
+        re-runs through the normal ingest/advance numerics.
+        """
+        model, meta, arrays, resident = cls._recovery_state(
+            store, checkpoint, model, kwargs)
+        owner, exports, dirty = unpack_sharded_state(meta, arrays)
+        plan = ShardPlan(owner=owner, num_shards=meta["num_shards"])
+        kwargs.setdefault("replicas", meta["replicas"])
+        server = cls(model, resident, plan=plan, **kwargs)
+        steps = int(meta["steps"])
+        for rs in server.shards:
+            for w in rs.workers:
+                w.engine.adopt_state(exports, steps)
+                if len(dirty):
+                    w.engine.cache.mark_dirty(
+                        w.engine.restrict_to_coverage(dirty))
+        server._replay_store_tail(store, meta["record_index"],
+                                  state_interval)
+        return server
+
     # -- introspection ---------------------------------------------------------------
     @property
     def num_shards(self) -> int:
@@ -250,6 +291,8 @@ class ShardedServer(QueryFrontend):
         expansion, delta splitting, and fan-out accounting are genuine
         router work and are timed.
         """
+        events = list(events)
+        self._store_log_events(events)  # WAL before acknowledgment
         count = self.ingestor.push_batch(events)
         result = self.ingestor.commit()
         t0 = self.clock()
@@ -279,11 +322,15 @@ class ShardedServer(QueryFrontend):
 
     def advance_time(self, snapshot: GraphSnapshot | None = None) -> None:
         """Cross a timestep boundary: promote carries everywhere, run
-        the bulk halo exchange, recompute every covered row."""
+        the bulk halo exchange, recompute every covered row.  With a
+        store attached the boundary seals a WAL timestep and the tier
+        state is captured every ``state_interval`` boundaries."""
+        self._store_log_boundary(snapshot)
         if snapshot is not None:
             self.ingestor.rebase(snapshot)
         self._advance()
         self._maybe_rebalance()
+        self._store_maybe_capture()
 
     def _advance(self) -> None:
         snap = self.ingestor.resident

@@ -1,0 +1,302 @@
+"""Record payload encoding for the temporal graph store.
+
+Every WAL record payload and every compacted base file is a plain
+(uncompressed) ``.npz`` archive held in bytes: numpy handles dtype and
+shape framing, and a ``__meta__`` entry carries a JSON header.  Three
+domain encodings live here:
+
+* **base snapshots** — CSR-packed columnar arrays ``(indptr, indices,
+  values)``; the canonical (src-sorted) edge order of
+  :class:`~repro.graph.snapshot.GraphSnapshot` makes the conversion a
+  bincount + cumsum in each direction.
+* **delta records** — a :class:`~repro.graph.diff.SnapshotDiff` stored
+  *against the previous snapshot*: removed edges become positions into
+  the previous canonical order, and only the values of added or changed
+  edges are kept (the wire-format GD diff ships every value of
+  ``A_{i+1}``; on disk the unchanged ones are recoverable from the
+  previous snapshot, which is what pushes storage well below the §3.2
+  transfer payload).
+* **event batches** — columnar ``(src, dst, op, value)`` arrays, folded
+  with exactly the semantics of
+  :meth:`repro.serve.ingest.StreamIngestor.commit` so a store replay and
+  a live server agree bit-for-bit.
+
+Integer arrays are narrowed to int32 on disk whenever their values fit
+(vertex ids and edge positions almost always do) and widened back to the
+library's int64 convention on decode.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zlib
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.graph.diff import SnapshotDiff, _checksum, _keys, _unkeys
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["pack_record", "unpack_record", "edge_checksum",
+           "snapshot_to_csr", "csr_to_snapshot",
+           "encode_base", "decode_base",
+           "encode_diff", "decode_diff",
+           "encode_events", "decode_events", "fold_events",
+           "encode_features", "decode_features",
+           "snapshot_record_nbytes"]
+
+
+def edge_checksum(snapshot: GraphSnapshot) -> int:
+    """Order-independent integrity token of a snapshot's edge set
+    (the same token :mod:`repro.graph.diff` stamps onto deltas)."""
+    return _checksum(snapshot.edges, snapshot.num_vertices)
+
+
+# ---------------------------------------------------------------------------
+# generic npz-in-bytes container
+# ---------------------------------------------------------------------------
+
+def pack_record(meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """Serialize ``(meta, arrays)`` into one uncompressed npz blob."""
+    buf = io.BytesIO()
+    payload = dict(arrays)
+    header = json.dumps(meta, sort_keys=True).encode()
+    payload["__meta__"] = np.frombuffer(header, dtype=np.uint8)
+    np.savez(buf, **payload)
+    return buf.getvalue()
+
+
+def unpack_record(data: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_record`."""
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode())
+            arrays = {k: archive[k] for k in archive.files
+                      if k != "__meta__"}
+    except (ValueError, KeyError, OSError, zlib.error) as exc:
+        raise StoreError(f"undecodable store record: {exc}") from exc
+    return meta, arrays
+
+
+def _narrow(a: np.ndarray) -> np.ndarray:
+    """int64 → int32 when every value fits (disk-width optimization)."""
+    if a.dtype == np.int64 and \
+            a.max(initial=0) <= np.iinfo(np.int32).max and \
+            a.min(initial=0) >= np.iinfo(np.int32).min:
+        return a.astype(np.int32)
+    return a
+
+
+def _widen(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) if a.dtype != np.int64 else a
+
+
+# ---------------------------------------------------------------------------
+# base snapshots (CSR columnar)
+# ---------------------------------------------------------------------------
+
+def snapshot_to_csr(snap: GraphSnapshot
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical edge array → ``(indptr, indices, values)``."""
+    n = snap.num_vertices
+    counts = np.bincount(snap.edges[:, 0], minlength=n) \
+        if snap.num_edges else np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, snap.edges[:, 1].copy(), snap.values.copy()
+
+
+def csr_to_snapshot(num_vertices: int, indptr: np.ndarray,
+                    indices: np.ndarray, values: np.ndarray
+                    ) -> GraphSnapshot:
+    counts = np.diff(_widen(indptr))
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), counts)
+    edges = np.stack([src, _widen(indices)], axis=1)
+    return GraphSnapshot(num_vertices, edges, values)
+
+
+def encode_base(snap: GraphSnapshot, step: int,
+                record_index: int) -> bytes:
+    indptr, indices, values = snapshot_to_csr(snap)
+    meta = {"kind": "base", "step": int(step),
+            "record_index": int(record_index),
+            "num_vertices": snap.num_vertices,
+            "nnz": snap.num_edges,
+            "checksum": edge_checksum(snap)}
+    return pack_record(meta, {"indptr": _narrow(indptr),
+                              "indices": _narrow(indices),
+                              "values": values})
+
+
+def decode_base(data: bytes) -> tuple[dict, GraphSnapshot]:
+    meta, arrays = unpack_record(data)
+    snap = csr_to_snapshot(meta["num_vertices"], arrays["indptr"],
+                           arrays["indices"], arrays["values"])
+    if edge_checksum(snap) != meta["checksum"]:
+        raise StoreError(
+            f"base snapshot for step {meta['step']} fails its checksum")
+    return meta, snap
+
+
+def snapshot_record_nbytes(snap: GraphSnapshot) -> int:
+    """On-disk bytes a *full* per-snapshot record would take — the naive
+    storage baseline the delta log is benchmarked against (the legacy
+    ``save_dtdg`` representation: int64 edge pairs + float64 values)."""
+    payload = pack_record({"kind": "naive", "nnz": snap.num_edges},
+                          {"edges": snap.edges, "values": snap.values})
+    return len(payload)
+
+
+# ---------------------------------------------------------------------------
+# delta records
+# ---------------------------------------------------------------------------
+
+def encode_diff(prev: GraphSnapshot, diff: SnapshotDiff,
+                step: int) -> bytes:
+    """Store ``prev → curr`` as a value-delta-compressed GD record."""
+    n = prev.num_vertices
+    prev_keys = _keys(prev.edges, n)
+    removed = np.asarray(diff.removed, dtype=np.int64).reshape(-1, 2)
+    removed_keys = np.sort(_keys(removed, n)) if len(removed) \
+        else np.empty(0, dtype=np.int64)
+    removed_pos = np.searchsorted(prev_keys, removed_keys)
+    if len(removed_keys) and (
+            removed_pos.max(initial=0) >= len(prev_keys)
+            or (prev_keys[np.minimum(removed_pos, len(prev_keys) - 1)]
+                != removed_keys).any()):
+        raise StoreError("delta removes edges absent from the previous "
+                         "snapshot — log does not apply")
+    added = np.asarray(diff.added, dtype=np.int64).reshape(-1, 2)
+    added_keys = np.sort(_keys(added, n)) if len(added) \
+        else np.empty(0, dtype=np.int64)
+    added = _unkeys(added_keys, n)
+
+    common_keys = np.setdiff1d(prev_keys, removed_keys, assume_unique=True)
+    curr_keys = np.sort(np.concatenate([common_keys, added_keys]))
+    values = np.asarray(diff.values, dtype=np.float64).reshape(-1)
+    if len(values) != len(curr_keys):
+        raise StoreError(
+            f"delta carries {len(values)} values for {len(curr_keys)} "
+            f"reconstructed edges — log does not apply")
+    cpos_curr = np.searchsorted(curr_keys, common_keys)
+    cpos_prev = np.searchsorted(prev_keys, common_keys)
+    changed = prev.values[cpos_prev] != values[cpos_curr]
+    changed_pos = cpos_curr[changed]
+    apos = np.searchsorted(curr_keys, added_keys)
+
+    base_checksum = diff.base_checksum if diff.base_checksum != -1 \
+        else _checksum(prev.edges, n)
+    meta = {"kind": "diff", "step": int(step),
+            "base_checksum": int(base_checksum),
+            "result_checksum": _checksum(_unkeys(curr_keys, n), n),
+            "nnz": int(len(curr_keys))}
+    return pack_record(meta, {
+        "removed_pos": _narrow(removed_pos),
+        "added": _narrow(added),
+        "added_val": values[apos],
+        "changed_pos": _narrow(changed_pos),
+        "changed_val": values[changed_pos],
+    })
+
+
+def decode_diff(data: bytes, prev: GraphSnapshot
+                ) -> tuple[SnapshotDiff, GraphSnapshot, dict]:
+    """Rebuild the full :class:`SnapshotDiff` and the snapshot it
+    produces from a stored delta plus the resident predecessor."""
+    meta, arrays = unpack_record(data)
+    n = prev.num_vertices
+    if meta["base_checksum"] != _checksum(prev.edges, n):
+        raise StoreError(
+            f"delta for step {meta['step']} does not apply: resident "
+            f"snapshot is not the base it was encoded against")
+    prev_keys = _keys(prev.edges, n)
+    removed_pos = _widen(arrays["removed_pos"])
+    removed_keys = prev_keys[removed_pos]
+    added = _widen(arrays["added"]).reshape(-1, 2)
+    added_keys = _keys(added, n) if len(added) \
+        else np.empty(0, dtype=np.int64)
+
+    common_keys = np.setdiff1d(prev_keys, removed_keys, assume_unique=True)
+    curr_keys = np.sort(np.concatenate([common_keys, added_keys]))
+    if len(curr_keys) != meta["nnz"]:
+        raise StoreError(
+            f"delta for step {meta['step']} reconstructs {len(curr_keys)} "
+            f"edges, record says {meta['nnz']}")
+    values = np.empty(len(curr_keys), dtype=np.float64)
+    values[np.searchsorted(curr_keys, common_keys)] = \
+        prev.values[np.searchsorted(prev_keys, common_keys)]
+    values[np.searchsorted(curr_keys, added_keys)] = arrays["added_val"]
+    values[_widen(arrays["changed_pos"])] = arrays["changed_val"]
+
+    edges = _unkeys(curr_keys, n)
+    if _checksum(edges, n) != meta["result_checksum"]:
+        raise StoreError(
+            f"delta for step {meta['step']} fails its result checksum")
+    curr = GraphSnapshot(n, edges, values)
+    diff = SnapshotDiff(removed=_unkeys(removed_keys, n), added=added,
+                        values=values.copy(),
+                        base_checksum=meta["base_checksum"])
+    return diff, curr, meta
+
+
+# ---------------------------------------------------------------------------
+# live event batches
+# ---------------------------------------------------------------------------
+
+def encode_events(events) -> bytes:
+    """Columnar encoding of an :class:`~repro.serve.ingest.EdgeEvent`
+    batch (``op`` 0 = add, 1 = remove)."""
+    events = list(events)
+    src = np.array([e.src for e in events], dtype=np.int64)
+    dst = np.array([e.dst for e in events], dtype=np.int64)
+    op = np.array([0 if e.op == "add" else 1 for e in events],
+                  dtype=np.uint8)
+    value = np.array([e.value for e in events], dtype=np.float64)
+    meta = {"kind": "events", "count": len(events)}
+    return pack_record(meta, {"src": _narrow(src), "dst": _narrow(dst),
+                              "op": op, "value": value})
+
+
+def decode_events(data: bytes) -> list:
+    from repro.serve.ingest import EdgeEvent
+    meta, arrays = unpack_record(data)
+    src = _widen(arrays["src"])
+    dst = _widen(arrays["dst"])
+    op = arrays["op"]
+    value = arrays["value"]
+    if not (len(src) == len(dst) == len(op) == len(value)
+            == meta["count"]):
+        raise StoreError("event record columns disagree on length")
+    return [EdgeEvent(int(s), int(d), "add" if o == 0 else "remove",
+                      float(v))
+            for s, d, o, v in zip(src, dst, op, value)]
+
+
+def fold_events(snapshot: GraphSnapshot, events) -> GraphSnapshot:
+    """Fold an event batch into a snapshot during WAL replay.
+
+    Delegates to :func:`repro.serve.ingest.fold_event_batch` — the ONE
+    definition of the event-fold semantics — so a store replay and the
+    live server that acknowledged the batch reconstruct bit-identical
+    snapshots by construction.  (Imported lazily to keep this module
+    importable without pulling the serving package in at import time.)
+    """
+    from repro.serve.ingest import fold_event_batch
+    curr, _ = fold_event_batch(snapshot, events)
+    return curr
+
+
+# ---------------------------------------------------------------------------
+# feature frames
+# ---------------------------------------------------------------------------
+
+def encode_features(frame: np.ndarray, step: int) -> bytes:
+    frame = np.asarray(frame, dtype=np.float64)
+    return pack_record({"kind": "features", "step": int(step)},
+                       {"frame": frame})
+
+
+def decode_features(data: bytes) -> tuple[int, np.ndarray]:
+    meta, arrays = unpack_record(data)
+    return meta["step"], arrays["frame"]

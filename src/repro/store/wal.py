@@ -1,0 +1,196 @@
+"""The append-only delta log (write-ahead log) of the temporal store.
+
+One file, one framing: every record is
+
+    ``magic(4) | kind(u8) | length(u64 LE) | crc32(u32 LE) | payload``
+
+where the CRC covers the payload bytes.  Appends go to the tail only;
+nothing is ever rewritten in place.  A crash mid-append leaves a torn
+record at the tail, which :meth:`DeltaLog.scan` detects (bad magic,
+short payload, or CRC mismatch) and treats as end-of-log; the next
+append truncates the torn bytes first.  Corruption *before* the valid
+tail is indistinguishable from truncation during the initial scan, so
+the log length is simply "everything up to the first bad frame" — the
+standard WAL recovery contract.
+
+Payload semantics live one layer up (:mod:`repro.store.codec`); this
+module only knows bytes and kinds.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StoreError
+
+__all__ = ["DeltaLog", "WalRecord",
+           "KIND_META", "KIND_DIFF", "KIND_EVENTS", "KIND_SEAL",
+           "KIND_FEATURES"]
+
+MAGIC = b"RGW1"
+_HEADER = struct.Struct("<4sBQI")  # magic, kind, payload length, crc32
+
+KIND_META = 0      # store header (first record)
+KIND_DIFF = 1      # SnapshotDiff sealing one timestep
+KIND_EVENTS = 2    # live EdgeEvent batch within the current timestep
+KIND_SEAL = 3      # timestep boundary without a topology rebase
+KIND_FEATURES = 4  # feature frame for a sealed timestep
+
+_KNOWN_KINDS = frozenset({KIND_META, KIND_DIFF, KIND_EVENTS, KIND_SEAL,
+                          KIND_FEATURES})
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log frame."""
+
+    index: int      # record ordinal in the log
+    kind: int
+    payload: bytes
+    offset: int     # byte offset of the frame start
+
+
+class DeltaLog:
+    """Append-only record log with per-record CRC framing.
+
+    Parameters
+    ----------
+    path:
+        Log file (created empty if absent).
+    sync:
+        ``True`` fsyncs after every append — full durability at the
+        cost of one syscall round-trip per record.  The default flushes
+        to the OS without forcing the disk, which already survives
+        process crashes (the failure mode the serving tier recovers
+        from).
+    """
+
+    def __init__(self, path: str, *, sync: bool = False) -> None:
+        self.path = path
+        self.sync = sync
+        self._offsets: list[tuple[int, int, int]] = []  # (offset, kind, len)
+        self._valid_bytes = 0
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        self._rescan()
+
+    # -- geometry ---------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return len(self._offsets)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def nbytes(self) -> int:
+        """Valid log bytes (torn tail bytes excluded)."""
+        return self._valid_bytes
+
+    def kind_of(self, index: int) -> int:
+        return self._offsets[index][1]
+
+    def kinds(self) -> list[int]:
+        return [kind for _, kind, _ in self._offsets]
+
+    # -- scanning ---------------------------------------------------------------------
+    def _rescan(self) -> None:
+        self._offsets = []
+        self._valid_bytes = 0
+        for record in self._scan_file():
+            self._offsets.append((record.offset, record.kind,
+                                  len(record.payload)))
+            self._valid_bytes = record.offset + _HEADER.size \
+                + len(record.payload)
+
+    def _scan_file(self) -> Iterator[WalRecord]:
+        with open(self.path, "rb") as fh:
+            index = 0
+            offset = 0
+            while True:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return  # clean end or torn header
+                magic, kind, length, crc = _HEADER.unpack(header)
+                if magic != MAGIC or kind not in _KNOWN_KINDS:
+                    return  # torn/garbage tail
+                payload = fh.read(length)
+                if len(payload) < length or \
+                        zlib.crc32(payload) != crc:
+                    return  # torn payload
+                yield WalRecord(index, kind, payload, offset)
+                index += 1
+                offset += _HEADER.size + length
+
+    def scan(self) -> Iterator[WalRecord]:
+        """Iterate every valid record from the head of the log."""
+        yield from self._scan_file()
+
+    def scan_from(self, start_index: int,
+                  stop_index: int | None = None) -> Iterator[WalRecord]:
+        """Stream records ``[start_index, stop_index)`` from one file
+        handle (the replay hot path: one open + sequential reads, with
+        each frame CRC-checked in passing)."""
+        stop_index = len(self._offsets) if stop_index is None \
+            else min(stop_index, len(self._offsets))
+        if start_index >= stop_index:
+            return
+        if not 0 <= start_index < len(self._offsets):
+            raise StoreError(f"log has {len(self._offsets)} records, "
+                             f"asked to scan from #{start_index}")
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offsets[start_index][0])
+            for index in range(start_index, stop_index):
+                offset, kind, length = self._offsets[index]
+                header = fh.read(_HEADER.size)
+                magic, h_kind, h_length, crc = _HEADER.unpack(header)
+                payload = fh.read(h_length)
+                if magic != MAGIC or h_kind != kind or \
+                        h_length != length or zlib.crc32(payload) != crc:
+                    raise StoreError(f"log record #{index} is corrupt")
+                yield WalRecord(index, kind, payload, offset)
+
+    def read(self, index: int) -> WalRecord:
+        """Random access to one record by ordinal."""
+        if not 0 <= index < len(self._offsets):
+            raise StoreError(f"log has {len(self._offsets)} records, "
+                             f"asked for #{index}")
+        offset, kind, length = self._offsets[index]
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            header = fh.read(_HEADER.size)
+            magic, h_kind, h_length, crc = _HEADER.unpack(header)
+            payload = fh.read(h_length)
+        if magic != MAGIC or h_kind != kind or h_length != length or \
+                zlib.crc32(payload) != crc:
+            raise StoreError(f"log record #{index} is corrupt")
+        return WalRecord(index, kind, payload, offset)
+
+    # -- appending --------------------------------------------------------------------
+    def append(self, kind: int, payload: bytes) -> int:
+        """Frame and append one record; returns its ordinal.
+
+        Torn bytes past the last valid record (from a crashed prior
+        append) are truncated away first, so the log stays a clean
+        prefix of valid frames.
+        """
+        if kind not in _KNOWN_KINDS:
+            raise StoreError(f"unknown WAL record kind {kind}")
+        frame = _HEADER.pack(MAGIC, kind, len(payload),
+                             zlib.crc32(payload)) + payload
+        with open(self.path, "r+b") as fh:
+            fh.truncate(self._valid_bytes)
+            fh.seek(self._valid_bytes)
+            fh.write(frame)
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        index = len(self._offsets)
+        self._offsets.append((self._valid_bytes, kind, len(payload)))
+        self._valid_bytes += len(frame)
+        return index

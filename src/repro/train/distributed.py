@@ -126,6 +126,18 @@ class DistributedTrainer:
         self._replay_comm: list[np.ndarray] = []
         self._block_transfer_log: list = []
 
+    @classmethod
+    def from_store(cls, model: DynamicGNN, store, task_factory,
+                   cluster: Cluster, config: DistConfig, *,
+                   start: int = 0, stop: int | None = None
+                   ) -> "DistributedTrainer":
+        """Train over a :class:`~repro.store.store.GraphStore` window
+        (lazy :class:`~repro.store.store.StoreView`) instead of an
+        in-memory DTDG; ``task_factory(dtdg)`` builds the task over the
+        view."""
+        view = store.window(start, stop)
+        return cls(model, view, task_factory(view), cluster, config)
+
     # ------------------------------------------------------------------
     # setup per partitioning scheme
     # ------------------------------------------------------------------

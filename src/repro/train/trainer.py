@@ -80,6 +80,22 @@ class SingleDeviceTrainer:
         self.optimizer = Adam(params, lr=config.learning_rate)
         self._runner = CheckpointRunner(model, config.num_blocks)
 
+    @classmethod
+    def from_store(cls, model: DynamicGNN, store, task_factory,
+                   config: TrainerConfig, device: Device | None = None, *,
+                   start: int = 0, stop: int | None = None
+                   ) -> "SingleDeviceTrainer":
+        """Train over a :class:`~repro.store.store.GraphStore` window.
+
+        ``store.window(start, stop)`` hands the trainer a lazy
+        :class:`~repro.store.store.StoreView`: snapshots decode from the
+        delta log (nearest compacted base + tail replay) as the training
+        loop touches them instead of the whole timeline being resident
+        up front.  ``task_factory(dtdg)`` builds the training task over
+        the view (tasks need the timeline to draw their samples)."""
+        view = store.window(start, stop)
+        return cls(model, view, task_factory(view), config, device)
+
     # -- memory & transfer accounting -------------------------------------------------
     def _input_bytes(self, lo: int, hi: int) -> int:
         snaps = sum(self.laplacians[t].nbytes for t in range(lo, hi))

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import DatasetError
 from repro.graph import (DiffDecoder, GraphSnapshot, apply_diff,
                          diff_snapshots, encode_sequence,
-                         sequence_transfer_stats)
+                         sequence_transfer_stats, split_diff_by_blocks)
 from repro.graph.generators import evolving_dtdg
 from repro.tensor.sparse import VALUE_BYTES
 
@@ -211,3 +211,110 @@ class TestSequenceTransferStats:
         snaps = evolving_dtdg(20, 4, 30, churn=0.5, seed=7).snapshots
         with pytest.raises(DatasetError):
             sequence_transfer_stats(snaps, chunk=0)
+
+
+class TestDiffDecoderChecksum:
+    """The decoder's checksum-mismatch error path: a diff pushed onto
+    the wrong resident snapshot must fail fast, not reconstruct
+    garbage."""
+
+    def test_push_onto_wrong_resident_raises(self):
+        a = snap(8, [[0, 1], [1, 2], [2, 3]])
+        b = snap(8, [[0, 1], [1, 2], [3, 4]])
+        other = snap(8, [[5, 6], [6, 7]])
+        diff = diff_snapshots(a, b)
+        decoder = DiffDecoder(other)
+        with pytest.raises(DatasetError, match="not the base"):
+            decoder.push(diff)
+
+    def test_resident_unchanged_after_failed_push(self):
+        a = snap(8, [[0, 1], [1, 2]])
+        b = snap(8, [[0, 1], [2, 3]])
+        other = snap(8, [[4, 5]])
+        decoder = DiffDecoder(other)
+        with pytest.raises(DatasetError):
+            decoder.push(diff_snapshots(a, b))
+        assert decoder.resident == other
+
+    def test_decoder_recovers_after_correct_push(self):
+        a = snap(8, [[0, 1], [1, 2]])
+        b = snap(8, [[0, 1], [2, 3]])
+        decoder = DiffDecoder(a)
+        with pytest.raises(DatasetError):
+            decoder.push(diff_snapshots(b, a))  # wrong direction
+        got = decoder.push(diff_snapshots(a, b))  # right one still works
+        assert got == b
+
+    def test_stale_resident_after_one_step_raises(self):
+        """Replaying the same diff twice: the second push sees the
+        advanced resident and must refuse."""
+        a = snap(8, [[0, 1], [1, 2]])
+        b = snap(8, [[0, 1], [2, 3]])
+        diff = diff_snapshots(a, b)
+        decoder = DiffDecoder(a)
+        decoder.push(diff)
+        with pytest.raises(DatasetError):
+            decoder.push(diff)
+
+
+class TestSplitDiffByBlocks:
+    """Degenerate fan-out cases of the sharded delta splitter."""
+
+    def _owners(self, n, blocks):
+        return np.arange(n) % blocks
+
+    def test_empty_diff_yields_empty_subdeltas(self):
+        a = snap(6, [[0, 1], [2, 3]])
+        diff = diff_snapshots(a, a)  # no topology change
+        subs = split_diff_by_blocks(diff, a, self._owners(6, 3))
+        assert len(subs) == 3
+        for sub in subs:
+            assert len(sub.removed) == 0
+            assert len(sub.added) == 0
+        # values of incident current edges still fan out (they are the
+        # per-shard refresh payload even when topology is unchanged)
+        assert sum(len(s.values) for s in subs) >= a.num_edges
+
+    def test_single_block_plan_gets_everything(self):
+        a = snap(6, [[0, 1], [2, 3]])
+        b = snap(6, [[0, 1], [3, 4], [4, 5]])
+        diff = diff_snapshots(a, b)
+        subs = split_diff_by_blocks(diff, b, np.zeros(6, dtype=np.int64),
+                                    num_blocks=1)
+        assert len(subs) == 1
+        np.testing.assert_array_equal(subs[0].removed, diff.removed)
+        np.testing.assert_array_equal(subs[0].added, diff.added)
+        np.testing.assert_array_equal(subs[0].values, b.values)
+
+    def test_empty_current_snapshot(self):
+        a = snap(6, [[0, 1], [2, 3]])
+        b = snap(6, [])
+        diff = diff_snapshots(a, b)
+        subs = split_diff_by_blocks(diff, b, self._owners(6, 2))
+        assert len(subs) == 2
+        for sub in subs:
+            assert len(sub.added) == 0
+            assert len(sub.values) == 0
+        # every removed edge reaches the shard(s) owning its endpoints
+        removed_total = sum(len(s.removed) for s in subs)
+        assert removed_total >= a.num_edges
+
+    def test_sub_deltas_carry_no_base_checksum(self):
+        a = snap(6, [[0, 1], [2, 3]])
+        b = snap(6, [[0, 1], [4, 5]])
+        subs = split_diff_by_blocks(diff_snapshots(a, b), b,
+                                    self._owners(6, 2))
+        assert all(s.base_checksum == -1 for s in subs)
+
+    def test_owner_length_mismatch_rejected(self):
+        a = snap(6, [[0, 1]])
+        diff = diff_snapshots(a, a)
+        with pytest.raises(DatasetError):
+            split_diff_by_blocks(diff, a, np.zeros(4, dtype=np.int64))
+
+    def test_owner_out_of_range_rejected(self):
+        a = snap(6, [[0, 1]])
+        diff = diff_snapshots(a, a)
+        with pytest.raises(DatasetError):
+            split_diff_by_blocks(diff, a, np.full(6, 7, dtype=np.int64),
+                                 num_blocks=2)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DatasetError
-from repro.graph import (DATASETS, AMLSimConfig, generate_amlsim,
+from repro.graph import (DATASETS, DTDG, AMLSimConfig, generate_amlsim,
                          evolving_dtdg, load_dataset, load_dtdg,
                          random_dtdg, sample_edges, save_dtdg)
 
@@ -170,11 +170,14 @@ class TestDatasets:
 
 
 class TestIO:
+    """save/load on the store format (delta log + bases), plus read
+    support for the legacy one-file .npz archive."""
+
     def test_roundtrip_with_features(self, tmp_path):
         d = evolving_dtdg(30, 4, 60, churn=0.2, seed=0, name="io-test")
         d.set_features([np.random.default_rng(t).normal(size=(30, 3))
                         for t in range(4)])
-        path = str(tmp_path / "d.npz")
+        path = str(tmp_path / "d.store")
         save_dtdg(d, path)
         loaded = load_dtdg(path)
         assert loaded.name == "io-test"
@@ -186,10 +189,91 @@ class TestIO:
 
     def test_roundtrip_without_features(self, tmp_path):
         d = evolving_dtdg(20, 3, 40, churn=0.2, seed=1)
-        path = str(tmp_path / "d2.npz")
+        path = str(tmp_path / "d2.store")
         save_dtdg(d, path)
         assert load_dtdg(path).features is None
+
+    def test_roundtrip_weighted_edges(self, tmp_path):
+        """Non-unit, step-varying edge values survive the delta log's
+        changed-values-only encoding."""
+        from repro.graph import GraphSnapshot
+        n = 10
+        e = np.array([[0, 1], [1, 2], [3, 4]])
+        d = DTDG([GraphSnapshot(n, e, np.array([0.5, 2.0, 3.0])),
+                  GraphSnapshot(n, e, np.array([0.5, 7.25, 3.0])),
+                  GraphSnapshot(n, e[1:], np.array([7.25, -1.5]))],
+                 name="weighted")
+        path = str(tmp_path / "w.store")
+        save_dtdg(d, path)
+        loaded = load_dtdg(path)
+        for sa, sb in zip(d, loaded):
+            assert sa == sb
+            np.testing.assert_array_equal(sa.values, sb.values)
+
+    def test_roundtrip_empty_snapshots(self, tmp_path):
+        from repro.graph import GraphSnapshot
+        n = 8
+        empty = GraphSnapshot(n, np.empty((0, 2), dtype=np.int64))
+        full = GraphSnapshot(n, np.array([[0, 1], [5, 6]]))
+        d = DTDG([empty, full, empty], name="sparse")
+        path = str(tmp_path / "e.store")
+        save_dtdg(d, path)
+        loaded = load_dtdg(path)
+        assert loaded.num_timesteps == 3
+        for sa, sb in zip(d, loaded):
+            assert sa == sb
+
+    def test_saved_store_is_a_store_directory(self, tmp_path):
+        from repro.store import GraphStore
+        d = evolving_dtdg(20, 5, 40, churn=0.2, seed=2, name="as-store")
+        path = str(tmp_path / "s")
+        save_dtdg(d, path)
+        store = GraphStore.open(path)
+        assert store.num_timesteps == 5
+        assert store.materialize(3) == d[3]
+
+    def test_legacy_npz_still_loads(self, tmp_path):
+        from repro.graph.io import _save_dtdg_npz
+        d = evolving_dtdg(25, 4, 50, churn=0.3, seed=3, name="legacy")
+        d.set_features([np.random.default_rng(t).normal(size=(25, 2))
+                        for t in range(4)])
+        path = str(tmp_path / "old.npz")
+        _save_dtdg_npz(d, path)
+        loaded = load_dtdg(path)
+        assert loaded.name == "legacy"
+        for sa, sb in zip(d, loaded):
+            assert sa == sb
+        for fa, fb in zip(d.features, loaded.features):
+            np.testing.assert_array_equal(fa, fb)
+
+    def test_resave_overwrites_in_place(self, tmp_path):
+        """The legacy writer's cache-refresh semantics: saving to the
+        same path twice replaces the old archive."""
+        path = str(tmp_path / "cache")
+        save_dtdg(evolving_dtdg(20, 3, 40, churn=0.2, seed=1), path)
+        fresh = evolving_dtdg(20, 5, 40, churn=0.2, seed=9, name="v2")
+        save_dtdg(fresh, path)
+        loaded = load_dtdg(path)
+        assert loaded.name == "v2"
+        assert loaded.num_timesteps == 5
+        for sa, sb in zip(fresh, loaded):
+            assert sa == sb
+
+    def test_save_over_legacy_file(self, tmp_path):
+        from repro.graph.io import _save_dtdg_npz
+        path = str(tmp_path / "cache.npz")
+        _save_dtdg_npz(evolving_dtdg(20, 3, 40, churn=0.2, seed=1), path)
+        fresh = evolving_dtdg(20, 4, 40, churn=0.2, seed=2, name="v2")
+        save_dtdg(fresh, path)
+        assert load_dtdg(path).name == "v2"
 
     def test_missing_file(self):
         with pytest.raises(DatasetError):
             load_dtdg("/nonexistent/file.npz")
+
+    def test_corrupt_store_raises_dataset_error(self, tmp_path):
+        path = tmp_path / "bad"
+        path.mkdir()
+        (path / "wal.log").write_bytes(b"not a wal")
+        with pytest.raises(DatasetError):
+            load_dtdg(str(path))

@@ -147,3 +147,127 @@ class TestMarkDirty:
         cache.mark_dirty(np.empty(0, dtype=np.int64))
         assert cache.num_dirty == 0
         assert cache.invalidations == 0
+
+
+class TestLRUEviction:
+    """Bounded-memory serving: ``max_rows`` caps the resident set by
+    moving the least-recently-read rows to a lazy evicted set; a later
+    read reloads them (dirty → recomputed before serving)."""
+
+    def _cache(self, n=6, max_rows=3):
+        cache = EmbeddingCache(n, num_layers=1, max_rows=max_rows)
+        cache.clean()
+        return cache
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = EmbeddingCache(6, num_layers=1)
+        cache.clean()
+        cache.touch(np.array([0, 1]))
+        assert cache.maybe_evict() == 0
+        assert cache.evictions == 0
+
+    def test_max_rows_validated(self):
+        with pytest.raises(ConfigError):
+            EmbeddingCache(6, num_layers=1, max_rows=0)
+
+    def test_evicts_down_to_bound(self):
+        cache = self._cache()
+        assert cache.maybe_evict() == 3  # 6 resident rows, bound is 3
+        assert cache.num_evicted == 3
+        assert cache.rows_evicted == 3
+        assert cache.evictions == 1
+        # eviction is lazy: victims are NOT queued for recompute
+        assert cache.num_dirty == 0
+        # and a repeat pass has nothing further to trim
+        assert cache.maybe_evict() == 0
+
+    def test_least_recently_read_go_first(self):
+        cache = self._cache()
+        cache.touch(np.array([4]))
+        cache.touch(np.array([1]))
+        cache.touch(np.array([5]))
+        cache.maybe_evict()
+        # the unread rows (0, 2, 3) were evicted; read rows survive
+        np.testing.assert_array_equal(cache.evicted, [0, 2, 3])
+
+    def test_read_reloads_evicted_row(self):
+        cache = self._cache()
+        cache.touch(np.array([4, 1, 5]))
+        cache.maybe_evict()
+        cache.touch(np.array([2]))  # cache miss on an evicted row
+        np.testing.assert_array_equal(cache.dirty, [2])
+        np.testing.assert_array_equal(cache.evicted, [0, 3])
+        assert cache.rows_reloaded == 1
+
+    def test_invalidation_reclaims_evicted_rows(self):
+        """Exactness invariant: a victim inside an invalidation cone
+        must rejoin the dirty set (its stored layer outputs feed other
+        dirty rows' aggregations)."""
+        cache = self._cache()
+        cache.touch(np.array([4, 1, 5]))
+        cache.maybe_evict()  # 0, 2, 3 evicted
+        cache.invalidate(PATH, np.array([1]))  # cone covers 0..2
+        assert 0 in cache.dirty and 2 in cache.dirty
+        np.testing.assert_array_equal(cache.evicted, [3])
+
+    def test_dirty_rows_do_not_count_as_resident(self):
+        cache = self._cache(max_rows=4)
+        cache.mark_dirty(np.array([0, 1]))
+        # 4 resident rows, bound 4: nothing to evict
+        assert cache.maybe_evict() == 0
+
+    def test_eviction_preserves_server_exactness(self):
+        """A server with a tiny resident budget serves identical scores
+        to an unbounded one — eviction trades recompute, not accuracy."""
+        from repro.graph import AMLSimConfig, generate_amlsim
+        from repro.models import build_model
+        from repro.nn.linear import Linear
+        from repro.serve import ModelServer, events_between
+
+        dtdg = generate_amlsim(AMLSimConfig(
+            num_accounts=80, num_timesteps=6, background_per_step=120,
+            partner_persistence=0.85, seed=5)).dtdg
+
+        def boot(max_rows):
+            model = build_model("cdgcn", in_features=2, seed=0)
+            fraud = Linear(model.embed_dim, 2, np.random.default_rng(7))
+            return ModelServer(model, dtdg[0], fraud_head=fraud,
+                               cache_max_rows=max_rows)
+
+        bounded, unbounded = boot(16), boot(None)
+        worst = 0.0
+        for t in range(1, 6):
+            for srv in (bounded, unbounded):
+                srv.advance_time()
+                srv.ingest_events(events_between(dtdg[t - 1], dtdg[t]))
+            for v in (0, 40, 79):
+                a = bounded.submit_fraud(v)
+                b = unbounded.submit_fraud(v)
+                bounded.drain()
+                unbounded.drain()
+                worst = max(worst, abs(a.result - b.result))
+        assert worst < 1e-9
+        assert bounded.counters.rows_evicted > 0
+        assert unbounded.counters.rows_evicted == 0
+        # bounded memory is paid for in recompute
+        assert bounded.counters.rows_recomputed > \
+            unbounded.counters.rows_recomputed
+
+    def test_eviction_counters_surface_in_stats(self):
+        from repro.graph import AMLSimConfig, generate_amlsim
+        from repro.models import build_model
+        from repro.serve import ModelServer, events_between
+
+        dtdg = generate_amlsim(AMLSimConfig(
+            num_accounts=60, num_timesteps=4, background_per_step=90,
+            seed=2)).dtdg
+        model = build_model("cdgcn", in_features=2, seed=0)
+        server = ModelServer(model, dtdg[0], cache_max_rows=10)
+        server.advance_time()
+        server.ingest_events(events_between(dtdg[0], dtdg[1]))
+        server.submit_link(0, 1)
+        server.drain()
+        stats = server.stats()
+        assert stats.counters.evictions >= 1
+        assert stats.counters.rows_evicted >= 1
+        assert stats.counters.rows_evicted == server.cache.rows_evicted

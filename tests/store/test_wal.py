@@ -1,0 +1,136 @@
+"""Delta-log framing: append/scan round trips and crash tolerance."""
+
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import DeltaLog
+from repro.store.wal import (KIND_DIFF, KIND_EVENTS, KIND_META, KIND_SEAL,
+                             MAGIC, _HEADER)
+
+
+@pytest.fixture
+def log(tmp_path):
+    return DeltaLog(str(tmp_path / "wal.log"))
+
+
+class TestFraming:
+    def test_append_scan_roundtrip(self, log):
+        payloads = [b"alpha", b"", b"x" * 4096]
+        kinds = [KIND_META, KIND_DIFF, KIND_EVENTS]
+        for kind, payload in zip(kinds, payloads):
+            log.append(kind, payload)
+        records = list(log.scan())
+        assert [r.kind for r in records] == kinds
+        assert [r.payload for r in records] == payloads
+        assert [r.index for r in records] == [0, 1, 2]
+
+    def test_random_access_read(self, log):
+        for i in range(5):
+            log.append(KIND_SEAL, bytes([i]) * (i + 1))
+        assert log.read(3).payload == b"\x03" * 4
+        assert log.read(0).payload == b"\x00"
+
+    def test_read_out_of_range(self, log):
+        log.append(KIND_META, b"m")
+        with pytest.raises(StoreError):
+            log.read(1)
+
+    def test_nbytes_counts_frames(self, log):
+        log.append(KIND_META, b"abc")
+        assert log.nbytes == _HEADER.size + 3
+        assert log.nbytes == os.path.getsize(log.path)
+
+    def test_unknown_kind_rejected(self, log):
+        with pytest.raises(StoreError):
+            log.append(99, b"payload")
+
+    def test_reopen_preserves_records(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        first = DeltaLog(path)
+        first.append(KIND_META, b"m")
+        first.append(KIND_DIFF, b"d1")
+        second = DeltaLog(path)
+        assert second.num_records == 2
+        assert second.read(1).payload == b"d1"
+
+    def test_scan_from_streams_a_range(self, log):
+        for i in range(6):
+            log.append(KIND_SEAL, bytes([i]))
+        records = list(log.scan_from(2, 5))
+        assert [r.index for r in records] == [2, 3, 4]
+        assert [r.payload for r in records] == [b"\x02", b"\x03", b"\x04"]
+        # open-ended scan runs to the tail
+        assert [r.index for r in log.scan_from(4)] == [4, 5]
+        # empty and past-the-end ranges are fine
+        assert list(log.scan_from(5, 5)) == []
+        assert list(log.scan_from(6)) == []
+
+    def test_scan_from_detects_corruption(self, log):
+        log.append(KIND_META, b"m")
+        log.append(KIND_DIFF, b"payload")
+        with open(log.path, "r+b") as fh:
+            fh.seek(_HEADER.size)  # corrupt record 0's payload
+            fh.write(b"Z")
+        with pytest.raises(StoreError):
+            list(log.scan_from(0))
+
+
+class TestCrashTolerance:
+    def _torn_tail(self, path, keep_valid=2, garbage=b"torn"):
+        log = DeltaLog(path)
+        log.append(KIND_META, b"m")
+        log.append(KIND_DIFF, b"d1")
+        with open(path, "ab") as fh:
+            fh.write(garbage)
+        return log
+
+    def test_torn_tail_ignored_on_scan(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        self._torn_tail(path)
+        reopened = DeltaLog(path)
+        assert reopened.num_records == 2
+        assert [r.kind for r in reopened.scan()] == [KIND_META, KIND_DIFF]
+
+    def test_append_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        self._torn_tail(path)
+        reopened = DeltaLog(path)
+        reopened.append(KIND_SEAL, b"s")
+        fresh = DeltaLog(path)
+        assert fresh.num_records == 3
+        assert fresh.read(2).payload == b"s"
+
+    def test_torn_header_with_valid_magic(self, tmp_path):
+        """A crash can write the header but not the payload."""
+        path = str(tmp_path / "w.log")
+        log = DeltaLog(path)
+        log.append(KIND_META, b"m")
+        with open(path, "ab") as fh:
+            fh.write(_HEADER.pack(MAGIC, KIND_DIFF, 1000, 0) + b"short")
+        assert DeltaLog(path).num_records == 1
+
+    def test_corrupt_payload_crc_stops_scan(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        log = DeltaLog(path)
+        log.append(KIND_META, b"m")
+        offset = log.nbytes
+        log.append(KIND_DIFF, b"payload-bytes")
+        with open(path, "r+b") as fh:
+            fh.seek(offset + _HEADER.size)  # first payload byte
+            fh.write(b"X")
+        assert DeltaLog(path).num_records == 1
+
+    def test_detects_corruption_under_valid_index(self, tmp_path):
+        """read() re-checks the CRC even when the scan-time index still
+        claims the record is there."""
+        path = str(tmp_path / "w.log")
+        log = DeltaLog(path)
+        log.append(KIND_META, b"m")
+        log.append(KIND_DIFF, b"payload")
+        with open(path, "r+b") as fh:
+            fh.seek(_HEADER.size)  # corrupt record 0's payload
+            fh.write(b"Z")
+        with pytest.raises(StoreError):
+            log.read(0)
