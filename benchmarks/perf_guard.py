@@ -1,0 +1,46 @@
+"""CI perf guard: fail when kernel speedups regress > 20%.
+
+Usage::
+
+    python benchmarks/perf_guard.py RECORDED.json FRESH.json [slack]
+
+Compares the speedup ratios recorded in the repo's committed
+``BENCH_kernels.json`` against a freshly measured one and exits
+non-zero if any fresh ratio falls below ``slack`` (default 0.8, i.e. a
+>20% regression) of the recorded value.  Ratios — not absolute times —
+are compared, so the guard is robust to runner hardware differences.
+"""
+
+import json
+import sys
+
+RATIOS = [
+    ("inc_laplacian", "speedup"),
+    ("spmm_rows", "speedup"),
+    ("serving_refresh", "speedup"),
+]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as fh:
+        recorded = json.load(fh)
+    with open(argv[2]) as fh:
+        fresh = json.load(fh)
+    slack = float(argv[3]) if len(argv) > 3 else 0.8
+
+    failed = False
+    for section, key in RATIOS:
+        want = recorded[section][key]
+        got = fresh[section][key]
+        ok = got >= slack * want
+        print(f"{section}.{key}: recorded {want:.2f}x, fresh {got:.2f}x "
+              f"(floor {slack * want:.2f}x) {'OK' if ok else 'REGRESSED'}")
+        failed |= not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,8 @@ from repro.bench.sharded import (ShardedBenchResult, ShardedScalePoint,
                                  run_sharded_benchmark)
 from repro.bench.store import (StoreBenchResult, StoreWorkloadConfig,
                                run_store_benchmark)
+from repro.bench.kernels import (KernelsBenchResult, KernelWorkloadConfig,
+                                 run_kernels_benchmark)
 
 __all__ = [
     "PointSpec", "run_point", "speedup_series", "cached_point",
@@ -29,4 +31,5 @@ __all__ = [
     "ShardedWorkloadConfig", "ShardedScalePoint", "ShardedBenchResult",
     "run_sharded_benchmark",
     "StoreWorkloadConfig", "StoreBenchResult", "run_store_benchmark",
+    "KernelWorkloadConfig", "KernelsBenchResult", "run_kernels_benchmark",
 ]

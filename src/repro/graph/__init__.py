@@ -4,6 +4,7 @@ graph-difference encoding, generators and calibrated datasets."""
 from repro.graph.snapshot import GraphSnapshot, canonical_edges
 from repro.graph.dtdg import DTDG, DTDGStats
 from repro.graph.laplacian import laplacian_from_adjacency, normalized_laplacian
+from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.graph.diff import (DiffDecoder, SnapshotDiff, apply_diff,
                               diff_snapshots, encode_sequence,
                               sequence_transfer_stats,
@@ -18,6 +19,7 @@ __all__ = [
     "GraphSnapshot", "canonical_edges",
     "DTDG", "DTDGStats",
     "normalized_laplacian", "laplacian_from_adjacency",
+    "LaplacianMaintainer",
     "SnapshotDiff", "diff_snapshots", "apply_diff", "encode_sequence",
     "DiffDecoder", "sequence_transfer_stats", "split_diff_by_blocks",
     "undirected_distances",

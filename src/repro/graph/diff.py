@@ -54,6 +54,14 @@ class SnapshotDiff:
     # receiver applying the diff to the wrong resident snapshot fails fast
     # instead of silently reconstructing garbage
     base_checksum: int = -1
+    # receiver-side acceleration, derived (redundant) data computed at
+    # encode time where both aligned value arrays are in hand: positions
+    # into the *new* snapshot's canonical order of (a) the added edges
+    # (aligned with ``added``'s row order) and (b) the common edges whose
+    # value changed.  Lets an incremental operator maintainer work in
+    # O(delta) instead of re-deriving the changed values with an O(nnz)
+    # alignment pass.  Not part of the §3.2 wire payload accounting.
+    value_hint: tuple | None = None
 
     @property
     def payload_nbytes(self) -> int:
@@ -99,13 +107,22 @@ def diff_snapshots(prev: GraphSnapshot,
     n = prev.num_vertices
     prev_keys = _keys(prev.edges, n)
     curr_keys = _keys(curr.edges, n)
-    removed = _unkeys(np.setdiff1d(prev_keys, curr_keys,
-                                   assume_unique=True), n)
-    added = _unkeys(np.setdiff1d(curr_keys, prev_keys,
-                                 assume_unique=True), n)
-    return SnapshotDiff(removed=removed, added=added,
+    removed_keys = np.setdiff1d(prev_keys, curr_keys, assume_unique=True)
+    added_keys = np.setdiff1d(curr_keys, prev_keys, assume_unique=True)
+    # the value hint: common edges sit at identical offsets once the
+    # diffed positions are pruned from either side's canonical order
+    added_pos = np.searchsorted(curr_keys, added_keys)
+    keep_prev = np.ones(len(prev_keys), dtype=bool)
+    keep_prev[np.searchsorted(prev_keys, removed_keys)] = False
+    keep_curr = np.ones(len(curr_keys), dtype=bool)
+    keep_curr[added_pos] = False
+    changed = prev.values[keep_prev] != curr.values[keep_curr]
+    changed_pos = np.flatnonzero(keep_curr)[changed]
+    return SnapshotDiff(removed=_unkeys(removed_keys, n),
+                        added=_unkeys(added_keys, n),
                         values=curr.values.copy(),
-                        base_checksum=_checksum(prev.edges, n))
+                        base_checksum=_checksum(prev.edges, n),
+                        value_hint=(added_pos, changed_pos))
 
 
 def apply_diff(prev: GraphSnapshot, diff: SnapshotDiff) -> GraphSnapshot:

@@ -28,30 +28,7 @@ from repro.errors import ConfigError
 from repro.graph.snapshot import GraphSnapshot
 from repro.graph.traversal import undirected_distances
 
-__all__ = ["EmbeddingCache", "expand_dirty", "sorted_row_gather"]
-
-
-def sorted_row_gather(sorted_keys: np.ndarray,
-                      rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Positions of every ``sorted_keys`` entry belonging to ``rows``.
-
-    ``sorted_keys`` is a sorted int array (e.g. the src column of a
-    canonical edge array); returns ``(indices, row_of)`` where
-    ``sorted_keys[indices[i]] == rows[row_of[i]]`` — the vectorized
-    slice-gather shared by the partial aggregation and the BFS below.
-    """
-    lo = np.searchsorted(sorted_keys, rows, side="left")
-    hi = np.searchsorted(sorted_keys, rows, side="right")
-    counts = hi - lo
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    starts = np.repeat(lo, counts)
-    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
-                                           counts)
-    row_of = np.repeat(np.arange(len(rows)), counts)
-    return starts + offsets, row_of
+__all__ = ["EmbeddingCache", "expand_dirty"]
 
 
 def expand_dirty(snapshot: GraphSnapshot, seeds: np.ndarray,

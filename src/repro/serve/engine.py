@@ -19,10 +19,12 @@ the serving tier, with two entry points:
     the refreshed rows are *numerically identical* to a full recompute —
     incremental serving trades no accuracy.
 
-Partial aggregation exploits the canonical (src-sorted) edge layout of
-:class:`~repro.graph.snapshot.GraphSnapshot`: the dirty rows' slices of
-``Ã·X`` are gathered with ``searchsorted`` + scatter-add instead of a
-full SpMM.
+The Eq. 1 operator ``Ã`` is kept current by a
+:class:`~repro.graph.inc_laplacian.LaplacianMaintainer`: each ingest
+commit hands its GD delta to :meth:`set_snapshot`, which updates only
+the touched rows/columns instead of rebuilding, and partial refreshes
+compute the dirty rows' slice of ``Ã·X`` with the row-sliced SpMM
+kernel (bit-identical to the same rows of the full multiply).
 
 .. note::
    The engine evaluates the model on the **raw** event stream.  CD-GCN
@@ -41,13 +43,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.graph.laplacian import normalized_laplacian
+from repro.graph.diff import SnapshotDiff
+from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.models.cdgcn import CDGCN
 from repro.models.evolvegcn import EvolveGCN
 from repro.models.tmgcn import TMGCN
-from repro.serve.cache import EmbeddingCache, sorted_row_gather
+from repro.serve.cache import EmbeddingCache
 
 __all__ = ["InferenceEngine", "derive_serving_features"]
 
@@ -109,7 +112,8 @@ class InferenceEngine:
                  k_hops: int | None = None, *,
                  features: np.ndarray | None = None,
                  dinv: np.ndarray | None = None,
-                 cache_max_rows: int | None = None) -> None:
+                 cache_max_rows: int | None = None,
+                 maintainer: LaplacianMaintainer | None = None) -> None:
         if model.in_features != 2:
             raise ConfigError(
                 "serving computes in/out-degree features from the event "
@@ -123,7 +127,12 @@ class InferenceEngine:
         self.steps = 0
         self._primed = False
         self._resident: GraphSnapshot | None = None
-        self._laplacian = None
+        # the Ã maintainer may be injected and *shared*: engines fed the
+        # same snapshot/diff sequence (a shard's replicas, or every
+        # worker of a sharded tier whose router pre-applies the delta)
+        # hold one operator copy — update() short-circuits when the
+        # resident is already current, so redundant calls are free
+        self._maintainer = maintainer
         # temporal state that is not per-vertex
         self._weight_state: list[tuple[np.ndarray, np.ndarray]] = []
         self._current_weights: list[np.ndarray] = []
@@ -197,10 +206,16 @@ class InferenceEngine:
         """Served per-vertex embeddings for the current (step, graph)."""
         return self.cache.embeddings
 
+    @property
+    def maintainer(self) -> LaplacianMaintainer:
+        """The engine's incremental ``Ã`` maintainer."""
+        return self._maintainer
+
     def set_snapshot(self, snapshot: GraphSnapshot,
                      seeds: np.ndarray | None, *,
                      features: np.ndarray | None = None,
-                     dinv: np.ndarray | None = None) -> None:
+                     dinv: np.ndarray | None = None,
+                     diff: SnapshotDiff | None = None) -> None:
         """Install a new resident snapshot.
 
         ``seeds`` are the vertices incident to changed edges (the
@@ -208,18 +223,27 @@ class InferenceEngine:
         (initial install or an untracked graph swap).  ``features`` /
         ``dinv`` short-circuit the degree recomputation when the caller
         (e.g. a shard router fanning one snapshot out to many workers)
-        already derived them from the same snapshot.
+        already derived them from the same snapshot.  ``diff`` is the
+        GD delta from the previous resident to ``snapshot``: with it,
+        the resident ``Ã`` is maintained incrementally (O(delta)
+        operator work); without it the operator rebuilds in full.
         """
         if self._resident is not None and \
                 snapshot.num_vertices != self._resident.num_vertices:
             raise ConfigError("resident vertex set must stay fixed")
         self._resident = snapshot
-        self._laplacian = None  # rebuilt lazily by the full path
-        # degree features and Laplacian normalization follow the graph
-        if features is None or dinv is None:
-            features, dinv = derive_serving_features(snapshot)
+        # the normalized operator follows the graph: incrementally when
+        # the caller supplies the GD delta, by full rebuild otherwise
+        if self._maintainer is None:
+            self._maintainer = LaplacianMaintainer(snapshot)
+        else:
+            self._maintainer.update(snapshot, diff)
+        # degree features follow the graph (``dinv`` is accepted so a
+        # router's one-shot derivation fans out unchanged; the engine
+        # itself reads normalization from the maintainer)
+        if features is None:
+            features, _ = derive_serving_features(snapshot)
         self.cache.features = features
-        self._dinv = dinv
         if seeds is None:
             self.cache.invalidate_all()
         elif len(seeds):
@@ -302,27 +326,16 @@ class InferenceEngine:
                    rows: np.ndarray | None) -> np.ndarray:
         """Rows of ``Ã·x`` for the resident snapshot.
 
-        ``rows=None`` runs the full SpMM through the cached Laplacian;
-        otherwise only the requested rows are gathered from the
-        src-sorted canonical edge array.
+        ``rows=None`` runs the full SpMM through the maintained
+        operator; otherwise only the requested output rows are computed
+        by the row-sliced kernel (:meth:`SparseMatrix.row_slice`),
+        which is bit-identical to the corresponding rows of the full
+        product.
         """
+        lap = self._maintainer.laplacian
         if rows is None:
-            if self._laplacian is None:
-                self._laplacian = normalized_laplacian(self._resident)
-            return self._laplacian.csr @ x
-        snap = self._resident
-        dinv = self._dinv
-        # the (A + I) diagonal contributes dinv[v]^2 * x[v]
-        agg = (dinv[rows] ** 2)[:, None] * x[rows]
-        edges = snap.edges
-        if len(edges):
-            # canonical edges are src-sorted: gather each row's slice
-            eidx, row_of = sorted_row_gather(edges[:, 0], rows)
-            if len(eidx):
-                dsts = edges[eidx, 1]
-                w = snap.values[eidx] * dinv[rows][row_of] * dinv[dsts]
-                np.add.at(agg, row_of, w[:, None] * x[dsts])
-        return agg
+            return lap.csr @ x
+        return lap.row_slice(rows) @ x
 
     def _layer_rows(self, idx: int,
                     rows: np.ndarray | None) -> np.ndarray | None:

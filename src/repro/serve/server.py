@@ -411,8 +411,13 @@ class ModelServer(QueryFrontend):
         self.counters.events_ingested += result.num_events
         self.counters.commits += 1
         if self.incremental:
-            self.engine.set_snapshot(result.snapshot, seeds=result.dirty)
+            # the GD delta rides along so the engine's Ã maintainer
+            # applies it incrementally instead of rebuilding
+            self.engine.set_snapshot(result.snapshot, seeds=result.dirty,
+                                     diff=result.diff)
         else:
+            # the full-recompute baseline keeps the pre-kernel cost
+            # profile: no delta, full operator rebuild
             self.engine.set_snapshot(result.snapshot, seeds=None)
         return count
 

@@ -12,6 +12,15 @@ owned rows come out **numerically identical** to a single-worker full
 recompute — the same exactness argument as the unsharded engine, applied
 ring-wise.
 
+The Eq. 1 operator reaches the shard through the engine's
+:class:`~repro.graph.inc_laplacian.LaplacianMaintainer` — the router
+owns one maintainer for the whole tier, applies each commit's GD delta
+to it exactly once, and injects it into every worker (the engines'
+own ``update()`` calls short-circuit on the already-current resident).
+Every layer's aggregation then row-slices that operator over the
+shard's covered rows (owned block + the live ghost rings), never the
+full vertex set.
+
 What cannot be derived locally is the frozen temporal state of ghost
 rows (LSTM carries entering the current timestep, M-product history
 frames): those are *owned* by their home shard and mirrored here through
@@ -50,11 +59,12 @@ class ShardEngine(InferenceEngine):
     def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot,
                  block: np.ndarray, k_hops: int | None = None, *,
                  features: np.ndarray | None = None,
-                 dinv: np.ndarray | None = None) -> None:
+                 dinv: np.ndarray | None = None,
+                 maintainer=None) -> None:
         self._block = np.asarray(block, dtype=np.int64)
         self._dist: np.ndarray | None = None
         super().__init__(model, snapshot, k_hops, features=features,
-                         dinv=dinv)
+                         dinv=dinv, maintainer=maintainer)
 
     # -- halo geometry ---------------------------------------------------------------
     @property

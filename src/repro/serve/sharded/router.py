@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.diff import split_diff_by_blocks
+from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.nn.linear import EdgeScorer, Linear
@@ -165,6 +166,12 @@ class ShardedServer(QueryFrontend):
         self.router_busy_s = 0.0
         self._vertex_load = np.zeros(snapshot.num_vertices)
         self._per_shard_queries = np.zeros(plan.num_shards, dtype=np.int64)
+        # one Ã maintainer for the whole tier: the router applies each
+        # commit's GD delta once and every worker/replica engine reads
+        # the same maintained operator (their own update() calls
+        # short-circuit on the already-current resident) — topology is
+        # shared simulation substrate, like features/dinv below
+        self.maintainer = LaplacianMaintainer(snapshot)
         self.shards = self._build_shards(plan, snapshot)
         self._advance()  # prime embeddings for the initial snapshot
 
@@ -180,7 +187,8 @@ class ShardedServer(QueryFrontend):
                             link_head=self.link_head,
                             fraud_head=self.fraud_head,
                             k_hops=self.k_hops, features=features,
-                            dinv=dinv, clock=self.clock)
+                            dinv=dinv, maintainer=self.maintainer,
+                            clock=self.clock)
                 for r in range(self.replicas)]))
         return sets
 
@@ -297,6 +305,7 @@ class ShardedServer(QueryFrontend):
         result = self.ingestor.commit()
         t0 = self.clock()
         snap = result.snapshot
+        self.maintainer.update(snap, result.diff)
         features, dinv = derive_serving_features(snap)
         dirty = expand_dirty(snap, result.dirty, self.k_hops)
         subs = split_diff_by_blocks(result.diff, snap, self.plan.owner,
@@ -311,7 +320,8 @@ class ShardedServer(QueryFrontend):
         self.router_busy_s += self.clock() - t0
         entrants = []
         for s, rs in enumerate(self.shards):
-            entrants.append(rs.apply_delta(snap, features, dinv, dirty))
+            entrants.append(rs.apply_delta(snap, features, dinv, dirty,
+                                           diff=result.diff))
             covered = rs.primary.engine.restrict_to_coverage(dirty)
             self.counters.halo_dirty_rows += int(
                 (self.plan.owner[covered] != s).sum())
@@ -335,6 +345,9 @@ class ShardedServer(QueryFrontend):
     def _advance(self) -> None:
         snap = self.ingestor.resident
         t0 = self.clock()
+        # a no-op unless advance_time rebased the resident wholesale,
+        # in which case the tier's shared operator rebuilds once here
+        self.maintainer.update(snap, None)
         features, dinv = derive_serving_features(snap)
         self.router_busy_s += self.clock() - t0
         for rs in self.shards:

@@ -46,11 +46,13 @@ class ShardWorker:
                  k_hops: int | None = None,
                  features: np.ndarray | None = None,
                  dinv: np.ndarray | None = None,
+                 maintainer=None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         self.shard_id = shard_id
         self.replica_id = replica_id
         self.engine = ShardEngine(model, snapshot, block, k_hops=k_hops,
-                                  features=features, dinv=dinv)
+                                  features=features, dinv=dinv,
+                                  maintainer=maintainer)
         self.link_head = link_head
         self.fraud_head = fraud_head
         self.clock = clock
@@ -77,16 +79,19 @@ class ShardWorker:
         self._charge(t0)
 
     def apply_delta(self, snapshot: GraphSnapshot, features: np.ndarray,
-                    dinv: np.ndarray, dirty: np.ndarray) -> np.ndarray:
+                    dinv: np.ndarray, dirty: np.ndarray,
+                    diff=None) -> np.ndarray:
         """Install the routed snapshot + pre-expanded dirty region.
 
-        Returns the rows newly pulled into this shard's halo (whose
-        frozen temporal state the exchange must import before the next
-        refresh touches them).
+        ``diff`` is the full GD delta of the commit; each worker feeds
+        it to its engine's Ã maintainer so the per-shard operator
+        updates incrementally.  Returns the rows newly pulled into this
+        shard's halo (whose frozen temporal state the exchange must
+        import before the next refresh touches them).
         """
         t0 = self.clock()
         self.engine.set_snapshot(snapshot, seeds=_EMPTY, features=features,
-                                 dinv=dinv)
+                                 dinv=dinv, diff=diff)
         entrants = self.engine.relax_halo(dirty)
         self.engine.cache.mark_dirty(self.engine.restrict_to_coverage(dirty))
         self.deltas_applied += 1
@@ -168,10 +173,12 @@ class ReplicaSet:
         for w in self.workers:
             w.finish_advance()
 
-    def apply_delta(self, snapshot, features, dinv, dirty) -> np.ndarray:
+    def apply_delta(self, snapshot, features, dinv, dirty,
+                    diff=None) -> np.ndarray:
         entrants = _EMPTY
         for w in self.workers:
-            entrants = w.apply_delta(snapshot, features, dinv, dirty)
+            entrants = w.apply_delta(snapshot, features, dinv, dirty,
+                                     diff=diff)
         return entrants  # identical across replicas (same deterministic state)
 
     def import_temporal(self, rows, payload) -> int:

@@ -4,19 +4,19 @@ Public surface::
 
     from repro.tensor import Tensor, no_grad, ops, functional as F
     from repro.tensor import Parameter, Module, SGD, Adam
-    from repro.tensor.sparse import SparseMatrix, spmm
+    from repro.tensor.sparse import SparseMatrix, spmm, spmm_rows
 """
 
 from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 from repro.tensor.module import Module, Parameter
 from repro.tensor.optim import SGD, Adam, Optimizer, clip_grad_norm
-from repro.tensor.sparse import SparseMatrix, spmm
+from repro.tensor.sparse import SparseMatrix, spmm, spmm_rows
 from repro.tensor import ops, functional, init
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
     "Module", "Parameter",
     "SGD", "Adam", "Optimizer", "clip_grad_norm",
-    "SparseMatrix", "spmm",
+    "SparseMatrix", "spmm", "spmm_rows",
     "ops", "functional", "init",
 ]

@@ -20,7 +20,7 @@ import scipy.sparse as sp
 from repro.errors import ShapeError
 from repro.tensor.tensor import Tensor, as_tensor
 
-__all__ = ["SparseMatrix", "spmm"]
+__all__ = ["SparseMatrix", "spmm", "spmm_rows"]
 
 # Wire format of the (index, value) sparse representation the paper
 # ships CPU→GPU: PyTorch sparse tensors use int64 indices and float32
@@ -45,11 +45,14 @@ class SparseMatrix:
         Any scipy sparse matrix (converted to CSR) or a dense ndarray.
     """
 
-    __slots__ = ("csr",)
+    __slots__ = ("csr", "_csr_t", "_transpose_builds")
 
     def __init__(self, matrix) -> None:
+        self._csr_t = None
+        self._transpose_builds = 0
         if isinstance(matrix, SparseMatrix):
             self.csr = matrix.csr
+            self._csr_t = matrix._csr_t  # share the transpose cache
         elif sp.issparse(matrix):
             self.csr = matrix.tocsr()
         else:
@@ -69,12 +72,44 @@ class SparseMatrix:
     def dtype(self):
         return self.csr.dtype
 
+    def transposed_csr(self) -> sp.csr_matrix:
+        """The CSR transpose, built lazily and cached.
+
+        The sparse operand of :func:`spmm` is a fixed graph operator
+        reused across layers and epochs; its transpose (needed only by
+        the backward pass) is therefore computed at most once per
+        matrix instead of per call.
+        """
+        if self._csr_t is None:
+            self._csr_t = self.csr.T.tocsr()
+            self._transpose_builds += 1
+        return self._csr_t
+
+    @property
+    def transpose_builds(self) -> int:
+        """How many times this matrix materialized its transpose."""
+        return self._transpose_builds
+
     def transpose(self) -> "SparseMatrix":
-        return SparseMatrix(self.csr.T)
+        t = SparseMatrix(self.transposed_csr())
+        t._csr_t = self.csr  # (Aᵀ)ᵀ is already resident
+        return t
 
     @property
     def T(self) -> "SparseMatrix":
         return self.transpose()
+
+    def row_slice(self, rows: np.ndarray) -> sp.csr_matrix:
+        """CSR submatrix of the requested ``rows`` (in ``rows`` order).
+
+        ``(self.row_slice(rows) @ X)`` equals ``(self.csr @ X)[rows]``
+        bit-for-bit: CSR row extraction preserves each row's entry
+        order, so the per-row accumulation in the multiply is
+        identical.  This is the gather kernel behind :func:`spmm_rows`
+        and the serving tier's dirty-frontier refresh.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        return self.csr[rows]
 
     def coo_edges(self) -> np.ndarray:
         """Return an (nnz, 2) int64 array of (row, col) indices, sorted."""
@@ -129,8 +164,15 @@ class SparseMatrix:
 def spmm(sparse: SparseMatrix, dense) -> Tensor:
     """Differentiable sparse @ dense product (gradient w.r.t. dense only).
 
-    The sparse operand is a fixed graph operator; its transpose is captured
-    for the backward pass (``grad_X = S.T @ grad_Y``).
+    The sparse operand is a fixed graph operator; its (lazily cached)
+    transpose serves the backward pass (``grad_X = S.T @ grad_Y``).
+
+    .. warning::
+       Autograd assumes ``sparse`` is frozen between forward and
+       backward.  Do not tape over a *live* maintained operator
+       (:attr:`LaplacianMaintainer.laplacian`, whose arrays the next
+       ``update()`` replaces) — train on frozen ``export()`` copies,
+       as :func:`~repro.train.preprocess.compute_laplacians` provides.
     """
     dense = as_tensor(dense)
     if dense.ndim != 2:
@@ -140,9 +182,41 @@ def spmm(sparse: SparseMatrix, dense) -> Tensor:
         raise ShapeError(
             f"spmm shape mismatch: {sparse.shape} @ {dense.shape}")
     out = sparse.csr @ dense.data
-    csr_t = sparse.csr.T.tocsr()
 
     def backward(g):
-        return (csr_t @ g,)
+        # lazy: the transpose is materialized only if backward runs,
+        # and the per-matrix cache makes repeated calls free
+        return (sparse.transposed_csr() @ g,)
+
+    return Tensor._make(out, (dense,), backward)
+
+
+def spmm_rows(sparse: SparseMatrix, dense, rows: np.ndarray) -> Tensor:
+    """Row-sliced differentiable SpMM: only ``rows`` of ``S @ X``.
+
+    Computes ``(S @ X)[rows]`` by gathering the requested CSR rows and
+    multiplying just those — O(nnz(rows) · F) instead of O(nnz · F).
+    The output rows are bit-identical to the corresponding rows of the
+    full product (same per-row accumulation order).  The backward pass
+    scatters the upstream gradient through the sliced operator:
+    ``dL/dX = S[rows, :].T @ dL/dY`` (gradient w.r.t. the dense operand
+    only, as for :func:`spmm`).
+    """
+    dense = as_tensor(dense)
+    if dense.ndim != 2:
+        raise ShapeError(f"spmm_rows expects a 2-D dense operand, got "
+                         f"{dense.ndim}-D")
+    if sparse.shape[1] != dense.shape[0]:
+        raise ShapeError(
+            f"spmm_rows shape mismatch: {sparse.shape} @ {dense.shape}")
+    rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+    if len(rows) and (rows.min() < 0 or rows.max() >= sparse.shape[0]):
+        raise ShapeError(
+            f"spmm_rows row index out of range for {sparse.shape[0]} rows")
+    sub = sparse.csr[rows]
+    out = sub @ dense.data
+
+    def backward(g):
+        return (sub.T @ g,)
 
     return Tensor._make(out, (dense,), backward)

@@ -21,8 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.graph.diff import encode_sequence
 from repro.graph.dtdg import DTDG
-from repro.graph.laplacian import normalized_laplacian
+from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.graph.snapshot import GraphSnapshot
 from repro.nn.mproduct import m_matrix
 from repro.tensor.sparse import SparseMatrix
@@ -110,8 +111,24 @@ def smooth_for_model(dtdg: DTDG, model_name: str,
 
 
 def compute_laplacians(dtdg: DTDG) -> list[SparseMatrix]:
-    """Normalized Laplacian ``Ã_t`` per snapshot (Eq. 1)."""
-    return [normalized_laplacian(s) for s in dtdg.snapshots]
+    """Normalized Laplacian ``Ã_t`` per snapshot (Eq. 1).
+
+    ``Ã_0`` is built in full once; every subsequent operator streams
+    through the :class:`~repro.graph.inc_laplacian.LaplacianMaintainer`
+    via the timeline's GD deltas (§3.2), touching only the rows and
+    columns each transition changed.  The result is bit-compatible
+    with a per-snapshot full rebuild.
+    """
+    snapshots = dtdg.snapshots
+    if not snapshots:
+        return []
+    first, diffs = encode_sequence(snapshots)
+    maintainer = LaplacianMaintainer(first)
+    laplacians = [maintainer.export()]
+    for snap, diff in zip(snapshots[1:], diffs):
+        maintainer.update(snap, diff)
+        laplacians.append(maintainer.export())
+    return laplacians
 
 
 def precompute_aggregation(laplacians: list[SparseMatrix],

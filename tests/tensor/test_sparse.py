@@ -1,4 +1,4 @@
-"""Tests for SparseMatrix and the differentiable spmm kernel."""
+"""Tests for SparseMatrix and the differentiable spmm kernels."""
 
 import numpy as np
 import pytest
@@ -7,7 +7,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import ShapeError
 from repro.tensor import Tensor
-from repro.tensor.sparse import INDEX_BYTES, VALUE_BYTES, SparseMatrix, spmm
+from repro.tensor.sparse import (INDEX_BYTES, VALUE_BYTES, SparseMatrix,
+                                 spmm, spmm_rows)
 from tests.helpers import check_gradients
 
 
@@ -126,3 +127,94 @@ class TestSpMM:
         left = spmm(s, x + y).data
         right = (spmm(s, x) + spmm(s, y)).data
         np.testing.assert_allclose(left, right, atol=1e-12)
+
+
+class TestCachedTranspose:
+    def test_transpose_built_at_most_once(self):
+        """Regression: spmm used to rebuild ``csr.T.tocsr()`` on every
+        call; the cached transpose must be materialized at most once
+        per matrix however many forward/backward passes reuse it."""
+        s = random_sparse(6, 6, density=0.4, seed=11)
+        assert s.transpose_builds == 0
+        for i in range(5):
+            x = Tensor(np.random.default_rng(i).normal(size=(6, 2)),
+                       requires_grad=True)
+            spmm(s, x).sum().backward()
+        assert s.transpose_builds == 1
+        s.T  # explicit transposes reuse the same cache
+        s.transpose()
+        assert s.transpose_builds == 1
+
+    def test_transpose_lazy_without_backward(self):
+        s = random_sparse(4, 4, seed=3)
+        spmm(s, Tensor(np.zeros((4, 2))))
+        assert s.transpose_builds == 0  # forward-only: never built
+
+    def test_transpose_of_transpose_shares_cache(self):
+        s = random_sparse(3, 5, seed=2)
+        t = s.T
+        assert t.transposed_csr() is s.csr
+        np.testing.assert_allclose(t.csr.toarray(), s.csr.toarray().T)
+
+    def test_wrap_shares_cache(self):
+        s = random_sparse(4, 4, seed=5)
+        s.transposed_csr()
+        s2 = SparseMatrix(s)
+        assert s2.transposed_csr() is s.transposed_csr()
+        assert s2.transpose_builds == 0
+
+
+class TestSpmmRows:
+    def test_rows_bitwise_equal_full_product(self):
+        s = random_sparse(20, 20, density=0.3, seed=4)
+        x = np.random.default_rng(0).normal(size=(20, 5))
+        rows = np.array([0, 3, 7, 19])
+        full = spmm(s, Tensor(x)).data
+        sliced = spmm_rows(s, Tensor(x), rows).data
+        # same per-row accumulation order: bit-identical, not just close
+        np.testing.assert_array_equal(sliced, full[rows])
+
+    def test_row_slice_matches_scipy(self):
+        s = random_sparse(10, 10, density=0.3, seed=8)
+        rows = np.array([2, 2, 5])  # duplicates allowed, order kept
+        np.testing.assert_allclose(s.row_slice(rows).toarray(),
+                                   s.csr[rows].toarray())
+
+    def test_gradient(self):
+        s = random_sparse(6, 6, density=0.4, seed=13)
+        rows = np.array([1, 4, 5])
+        x = Tensor(np.random.default_rng(5).normal(size=(6, 3)),
+                   requires_grad=True)
+        check_gradients(lambda: spmm_rows(s, x, rows).sum(), [x])
+
+    def test_gradient_scatters_through_slice(self):
+        """dL/dX must equal S.T @ scatter(g): rows not requested get
+        gradient only through the sliced operator."""
+        s = random_sparse(5, 5, density=0.5, seed=17)
+        rows = np.array([0, 2])
+        x = Tensor(np.random.default_rng(7).normal(size=(5, 2)),
+                   requires_grad=True)
+        out = spmm_rows(s, x, rows)
+        out.sum().backward()
+        g_full = np.zeros((5, 2))
+        g_full[rows] = 1.0
+        expected = s.csr.toarray().T @ g_full
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
+    def test_empty_rows(self):
+        s = random_sparse(4, 4, seed=1)
+        out = spmm_rows(s, Tensor(np.ones((4, 2))),
+                        np.empty(0, dtype=np.int64))
+        assert out.data.shape == (0, 2)
+
+    def test_out_of_range_rows_rejected(self):
+        s = random_sparse(3, 3)
+        with pytest.raises(ShapeError):
+            spmm_rows(s, Tensor(np.zeros((3, 2))), np.array([3]))
+        with pytest.raises(ShapeError):
+            spmm_rows(s, Tensor(np.zeros((3, 2))), np.array([-1]))
+
+    def test_shape_mismatch(self):
+        s = random_sparse(3, 4)
+        with pytest.raises(ShapeError):
+            spmm_rows(s, Tensor(np.zeros((3, 2))), np.array([0]))

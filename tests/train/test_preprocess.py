@@ -110,6 +110,42 @@ class TestSmoothForModel:
             smooth_for_model(d, "gat")
 
 
+class TestComputeLaplacians:
+    """compute_laplacians streams through the LaplacianMaintainer; it
+    must stay bit-compatible with a per-snapshot full rebuild for each
+    model's own preprocessing (raw / edge-life / M-product — the three
+    paper models' inputs)."""
+
+    @pytest.mark.parametrize("model_name", ["cdgcn", "egcn", "tmgcn"])
+    def test_bit_compatible_with_full_rebuild(self, model_name):
+        from repro.graph import normalized_laplacian
+        raw = evolving_dtdg(30, 6, 80, churn=0.35, seed=9)
+        d = smooth_for_model(raw, model_name)
+        laps = compute_laplacians(d)
+        assert len(laps) == d.num_timesteps
+        for lap, s in zip(laps, d.snapshots):
+            ref = normalized_laplacian(s).csr
+            np.testing.assert_array_equal(lap.csr.indptr, ref.indptr)
+            np.testing.assert_array_equal(lap.csr.indices, ref.indices)
+            np.testing.assert_array_equal(lap.csr.data, ref.data)
+
+    def test_operators_are_independent_copies(self):
+        d = evolving_dtdg(15, 4, 40, churn=0.5, seed=2)
+        laps = compute_laplacians(d)
+        # mutating one timestep's operator must not leak into another
+        laps[0].csr.data[:] = 0.0
+        assert np.abs(laps[1].csr.data).max() > 0
+
+    def test_single_snapshot_timeline(self):
+        from repro.graph import normalized_laplacian
+        d = DTDG([snap(3, [[0, 1]])])
+        laps = compute_laplacians(d)
+        assert len(laps) == 1
+        np.testing.assert_array_equal(
+            laps[0].csr.toarray(),
+            normalized_laplacian(d[0]).csr.toarray())
+
+
 class TestPrecompute:
     def test_matches_spmm(self):
         d = evolving_dtdg(12, 3, 24, churn=0.2, seed=6)
