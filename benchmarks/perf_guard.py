@@ -1,24 +1,43 @@
-"""CI perf guard: fail when kernel speedups regress > 20%.
+"""CI perf guard: fail when recorded speedup ratios regress > 20%.
 
 Usage::
 
     python benchmarks/perf_guard.py RECORDED.json FRESH.json [slack]
 
-Compares the speedup ratios recorded in the repo's committed
-``BENCH_kernels.json`` against a freshly measured one and exits
-non-zero if any fresh ratio falls below ``slack`` (default 0.8, i.e. a
->20% regression) of the recorded value.  Ratios — not absolute times —
-are compared, so the guard is robust to runner hardware differences.
+Compares every ``"speedup"`` ratio recorded in a committed bench json
+(``BENCH_kernels.json``, ``BENCH_training.json``, …) against a freshly
+measured one and exits non-zero if any fresh ratio falls below
+``slack`` (default 0.8, i.e. a >20% regression) of the recorded value.
+Ratios — not absolute times — are compared, so the guard is robust to
+runner hardware differences.  Guarded entries are discovered by walking
+the recorded json for keys named ``speedup``; benches deliberately name
+noisy, unguarded observations something else (e.g. ``wall_ratio``).
 """
 
 import json
 import sys
 
-RATIOS = [
-    ("inc_laplacian", "speedup"),
-    ("spmm_rows", "speedup"),
-    ("serving_refresh", "speedup"),
-]
+
+def speedup_entries(payload, prefix=""):
+    """Yield (dotted-path, value) for every key named ``speedup``."""
+    if not isinstance(payload, dict):
+        return
+    for key in sorted(payload):
+        path = f"{prefix}.{key}" if prefix else key
+        value = payload[key]
+        if key == "speedup" and isinstance(value, (int, float)):
+            yield path, float(value)
+        else:
+            yield from speedup_entries(value, path)
+
+
+def lookup(payload, path):
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
 
 
 def main(argv: list[str]) -> int:
@@ -31,12 +50,20 @@ def main(argv: list[str]) -> int:
         fresh = json.load(fh)
     slack = float(argv[3]) if len(argv) > 3 else 0.8
 
+    entries = list(speedup_entries(recorded))
+    if not entries:
+        print("no recorded speedup ratios found — nothing to guard")
+        return 2
     failed = False
-    for section, key in RATIOS:
-        want = recorded[section][key]
-        got = fresh[section][key]
+    for path, want in entries:
+        got = lookup(fresh, path)
+        if got is None:
+            print(f"{path}: recorded {want:.2f}x, MISSING in fresh run")
+            failed = True
+            continue
+        got = float(got)
         ok = got >= slack * want
-        print(f"{section}.{key}: recorded {want:.2f}x, fresh {got:.2f}x "
+        print(f"{path}: recorded {want:.2f}x, fresh {got:.2f}x "
               f"(floor {slack * want:.2f}x) {'OK' if ok else 'REGRESSED'}")
         failed |= not ok
     return 1 if failed else 0

@@ -18,6 +18,9 @@ from repro.bench.store import (StoreBenchResult, StoreWorkloadConfig,
                                run_store_benchmark)
 from repro.bench.kernels import (KernelsBenchResult, KernelWorkloadConfig,
                                  run_kernels_benchmark)
+from repro.bench.training import (TrainingBenchResult,
+                                  TrainingWorkloadConfig,
+                                  run_training_benchmark)
 
 __all__ = [
     "PointSpec", "run_point", "speedup_series", "cached_point",
@@ -32,4 +35,6 @@ __all__ = [
     "run_sharded_benchmark",
     "StoreWorkloadConfig", "StoreBenchResult", "run_store_benchmark",
     "KernelWorkloadConfig", "KernelsBenchResult", "run_kernels_benchmark",
+    "TrainingWorkloadConfig", "TrainingBenchResult",
+    "run_training_benchmark",
 ]

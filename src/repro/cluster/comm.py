@@ -32,12 +32,25 @@ __all__ = ["Communicator", "CommEvent"]
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One logged collective: payload bytes exclude self-communication."""
+    """One logged collective: payload bytes exclude self-communication.
+
+    ``full_equivalent_bytes`` is what the collective *would* have moved
+    without delta-aware payload shrinking (the training tier's
+    cross-timestep reuse ships only delta-touched boundary rows); it
+    equals ``payload_bytes`` for ordinary collectives, mirroring the
+    transfer engine's naive-equivalent accounting.
+    """
 
     op: str
     label: str
     payload_bytes: int
     seconds: float
+    full_equivalent_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.full_equivalent_bytes < self.payload_bytes:
+            object.__setattr__(self, "full_equivalent_bytes",
+                               self.payload_bytes)
 
 
 class Communicator:
@@ -71,12 +84,27 @@ class Communicator:
         quantity Table 2 reports in billions."""
         return self.volume_bytes(label) / unit_bytes
 
+    def full_equivalent_bytes(self, label: str | None = None) -> int:
+        """Bytes the logged collectives would have moved without
+        delta-aware payload shrinking."""
+        return sum(e.full_equivalent_bytes for e in self.events
+                   if label is None or e.label == label)
+
+    def full_equivalent_units(self, label: str | None = None,
+                              unit_bytes: int = 4) -> float:
+        return self.full_equivalent_bytes(label) / unit_bytes
+
     # -- all-to-all ---------------------------------------------------------------------
     def all_to_all_bytes(self, payload: np.ndarray,
-                         label: str = "redistribution") -> float:
+                         label: str = "redistribution",
+                         full_equivalent: np.ndarray | None = None
+                         ) -> float:
         """Charge an all-to-all with byte matrix ``payload[src, dst]``.
 
-        Returns the modeled wall-clock of the collective (slowest rank).
+        ``full_equivalent`` optionally records the byte matrix a
+        non-delta-aware exchange would have shipped (volume accounting
+        only — the charged time follows ``payload``).  Returns the
+        modeled wall-clock of the collective (slowest rank).
         """
         p = self.num_ranks
         payload = np.asarray(payload, dtype=np.float64)
@@ -125,8 +153,15 @@ class Communicator:
         self._barrier()
 
         total_bytes = int(off_diag.sum())
+        if full_equivalent is None:
+            full_bytes = total_bytes
+        else:
+            full = np.asarray(full_equivalent, dtype=np.float64).copy()
+            np.fill_diagonal(full, 0.0)
+            full_bytes = int(full.sum())
         wall = float(seconds.max())
-        self.events.append(CommEvent("all_to_all", label, total_bytes, wall))
+        self.events.append(CommEvent("all_to_all", label, total_bytes,
+                                     wall, full_equivalent_bytes=full_bytes))
         return wall
 
     def all_to_all(self, buffers: list[list[np.ndarray]],

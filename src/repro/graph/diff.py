@@ -245,6 +245,15 @@ def split_diff_by_blocks(diff: SnapshotDiff, curr: GraphSnapshot,
     Sub-deltas carry no base checksum (they do not apply against the
     full resident base); their summed ``payload_nbytes`` is the total
     wire cost of fanning the delta out to all shards.
+
+    When the parent diff carries an encoder-side ``value_hint``, each
+    sub-delta's hint is **re-indexed into the block-local value order**:
+    hinted positions point into that block's ``values`` array (the
+    incident edges of ``curr`` in canonical order), never into the
+    whole-graph canonical order — whole-graph positions in a shard-local
+    diff would silently address the wrong edges.  A hint-less parent
+    yields hint-less sub-deltas (the consumers' aligned fallback is
+    exact either way).
     """
     owners = np.asarray(owners, dtype=np.int64)
     if len(owners) != curr.num_vertices:
@@ -255,21 +264,44 @@ def split_diff_by_blocks(diff: SnapshotDiff, curr: GraphSnapshot,
     if len(owners) and (owners.min() < 0 or owners.max() >= blocks):
         raise DatasetError("owner block ids out of range")
 
-    def incident(edges: np.ndarray, b: int) -> np.ndarray:
-        if len(edges) == 0:
-            return edges
-        mask = (owners[edges[:, 0]] == b) | (owners[edges[:, 1]] == b)
-        return edges[mask]
+    removed = np.asarray(diff.removed, dtype=np.int64).reshape(-1, 2)
+    added = np.asarray(diff.added, dtype=np.int64).reshape(-1, 2)
+    if diff.value_hint is not None:
+        added_pos = np.asarray(diff.value_hint[0], dtype=np.int64)
+        changed_pos = np.asarray(diff.value_hint[1], dtype=np.int64)
+    else:
+        added_pos = changed_pos = None
+
+    def incident_mask(edges: np.ndarray, b: int) -> np.ndarray:
+        return (owners[edges[:, 0]] == b) | (owners[edges[:, 1]] == b)
 
     out = []
     for b in range(blocks):
         if curr.num_edges:
-            vmask = (owners[curr.edges[:, 0]] == b) | \
-                (owners[curr.edges[:, 1]] == b)
+            vmask = incident_mask(curr.edges, b)
             values = curr.values[vmask]
         else:
+            vmask = np.zeros(0, dtype=bool)
             values = curr.values[:0]
-        out.append(SnapshotDiff(removed=incident(diff.removed, b),
-                                added=incident(diff.added, b),
-                                values=values))
+        rmask = incident_mask(removed, b) if len(removed) \
+            else np.zeros(0, dtype=bool)
+        amask = incident_mask(added, b) if len(added) \
+            else np.zeros(0, dtype=bool)
+        hint = None
+        if added_pos is not None:
+            # global canonical position -> position within this block's
+            # value array (the incident edges of curr, in order)
+            local_of_global = np.cumsum(vmask) - 1
+            sub_added_pos = local_of_global[added_pos[amask]] \
+                if amask.any() else added_pos[:0]
+            if len(changed_pos):
+                cmask = vmask[changed_pos]
+                sub_changed_pos = local_of_global[changed_pos[cmask]]
+            else:
+                sub_changed_pos = changed_pos[:0]
+            hint = (sub_added_pos, sub_changed_pos)
+        out.append(SnapshotDiff(removed=removed[rmask],
+                                added=added[amask],
+                                values=values,
+                                value_hint=hint))
     return out

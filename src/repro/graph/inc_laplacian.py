@@ -48,7 +48,7 @@ from repro.graph.diff import SnapshotDiff
 from repro.graph.snapshot import GraphSnapshot
 from repro.tensor.sparse import SparseMatrix
 
-__all__ = ["LaplacianMaintainer"]
+__all__ = ["LaplacianMaintainer", "diff_touched_vertices"]
 
 _EMPTY_I = np.empty(0, dtype=np.int64)
 _EMPTY_F = np.empty(0, dtype=np.float64)
@@ -82,6 +82,38 @@ def _range_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     offsets = np.arange(total, dtype=np.int64) \
         - np.repeat(np.cumsum(counts) - counts, counts)
     return rep_starts + offsets
+
+
+def diff_touched_vertices(diff: SnapshotDiff,
+                          curr: GraphSnapshot) -> np.ndarray | None:
+    """Endpoints of every edge the transition structurally changed or
+    re-weighted — the delta seed set from which the training tier's
+    cross-timestep reuse (and the serving tier's dirty frontier) expand.
+
+    Vertices incident to added or removed edges come from the diff's
+    index lists; vertices incident to value-changed common edges are
+    named by the encoder-side ``value_hint``.  Returns ``None`` when the
+    diff carries no hint (e.g. a store-decoded delta): the value-changed
+    endpoints cannot then be derived in O(delta), and callers must treat
+    the touched set as unknown.
+    """
+    if diff.value_hint is None:
+        return None
+    parts = []
+    removed = np.asarray(diff.removed, dtype=np.int64).reshape(-1, 2)
+    added = np.asarray(diff.added, dtype=np.int64).reshape(-1, 2)
+    if len(removed):
+        parts.append(removed.ravel())
+    if len(added):
+        parts.append(added.ravel())
+    changed_pos = np.asarray(diff.value_hint[1], dtype=np.int64)
+    if len(changed_pos):
+        if len(changed_pos) and changed_pos.max() >= curr.num_edges:
+            return None  # hint does not describe this snapshot
+        parts.append(curr.edges[changed_pos].ravel())
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
 
 
 class LaplacianMaintainer:

@@ -23,7 +23,7 @@ from typing import Any
 
 from repro.errors import ConfigError
 from repro.tensor import Module, Tensor
-from repro.tensor.sparse import SparseMatrix
+from repro.tensor.sparse import SparseMatrix, spmm
 
 __all__ = ["DynamicGNN", "detach_carry"]
 
@@ -71,9 +71,48 @@ class DynamicGNN(Module):
 
     def forward_block(self, laplacians: list[SparseMatrix],
                       frames: list[Tensor],
-                      carry: list) -> tuple[list[Tensor], list]:
-        """Process one contiguous block of timesteps."""
+                      carry: list, t0: int = 0) -> tuple[list[Tensor], list]:
+        """Process one contiguous block of timesteps.
+
+        ``t0`` is the block's global starting timestep — the index the
+        aggregation hook (cross-timestep reuse) keys its cache by.
+        """
         raise NotImplementedError
+
+    # -- aggregation hook (cross-timestep reuse) -----------------------------------
+    def set_aggregation_hook(self, hook) -> None:
+        """Install ``hook(layer_idx, t, laplacian, frame) -> Tensor`` as
+        the sparse-aggregation kernel; ``None`` restores plain
+        :func:`~repro.tensor.sparse.spmm`.  The training tier points
+        this at an :class:`~repro.train.reuse.AggregationCache` so
+        ``Ã_t·X`` products are patched from the previous timestep
+        instead of recomputed in full."""
+        self._agg_hook = hook
+
+    def aggregate(self, idx: int, t: int, laplacian: SparseMatrix,
+                  frame: Tensor) -> Tensor:
+        """The layer-``idx`` sparse aggregation at global timestep ``t``."""
+        hook = getattr(self, "_agg_hook", None)
+        if hook is None:
+            return spmm(laplacian, frame)
+        return hook(idx, t, laplacian, frame)
+
+    def reuse_profile(self) -> list:
+        """Per-layer temporal propagation for the reuse frontier.
+
+        Entry ``idx`` describes how layer ``idx``'s post-aggregation
+        transform spreads a row's change across adjacent timesteps:
+
+        * ``"dense"`` — every row can change between timesteps (a
+          per-vertex recurrence or per-timestep weights); downstream
+          aggregations cannot be patched and fall back to full SpMM;
+        * ``("window", w)`` — a trailing-window mix: a row differs from
+          the previous timestep only if one of the last ``w``
+          aggregations touched it (TM-GCN's M-transform);
+        * ``"local"`` — a time-invariant row-local map: the dirty set
+          passes through unchanged.
+        """
+        return ["dense"] * self.num_layers
 
     # -- conveniences -----------------------------------------------------------------
     def forward(self, laplacians: list[SparseMatrix],
@@ -85,7 +124,8 @@ class DynamicGNN(Module):
         if not frames:
             return []
         outs, _ = self.forward_block(laplacians, frames,
-                                     self.init_carry(frames[0].shape[0]))
+                                     self.init_carry(frames[0].shape[0]),
+                                     t0=0)
         return outs
 
     # -- cost model (per single timestep) ------------------------------------------------

@@ -91,16 +91,23 @@ class CDGCN(DynamicGNN):
     def init_carry(self, rows: int) -> list:
         return [self.rnn_init(idx, rows) for idx in range(self.num_layers)]
 
-    def forward_block(self, laplacians, frames, carry):
+    def forward_block(self, laplacians, frames, carry, t0: int = 0):
         xs = frames
         new_carry = []
         for idx in range(self.num_layers):
-            ys = [self.gcn_forward(idx, lap, x)
-                  for lap, x in zip(laplacians, xs)]
+            gcn = self.gcn_layer(idx)
+            ys = [gcn.forward_precomputed(
+                      self.aggregate(idx, t0 + i, lap, x))
+                  for i, (lap, x) in enumerate(zip(laplacians, xs))]
             ys, state = self.rnn_block(idx, ys, carry[idx])
             new_carry.append(state)
             xs = ys
         return xs, new_carry
+
+    def reuse_profile(self) -> list:
+        # the per-vertex LSTM re-mixes every row's state at every
+        # timestep: deeper-layer inputs change densely across time
+        return ["dense"] * self.num_layers
 
     # -- cost model ------------------------------------------------------------------------
     def gcn_flops_per_step(self, nnz: int, rows: int) -> tuple[float, float]:

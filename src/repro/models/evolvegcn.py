@@ -85,16 +85,25 @@ class EvolveGCN(DynamicGNN):
         # carry is per-layer weight-LSTM state; `rows` is irrelevant here
         return [self.weight_init(idx) for idx in range(self.num_layers)]
 
-    def forward_block(self, laplacians, frames, carry):
+    def forward_block(self, laplacians, frames, carry, t0: int = 0):
         xs = frames
         new_carry = []
         for idx in range(self.num_layers):
             weights, state = self.evolve_weights(idx, len(laplacians),
                                                  carry[idx])
-            xs = [self.gcn_with_weight(idx, lap, x, w)
-                  for lap, x, w in zip(laplacians, xs, weights)]
+            gcn = self.gcn_layer(idx)
+            xs = [gcn.forward_with_weight(
+                      lap, x, w,
+                      precomputed=self.aggregate(idx, t0 + i, lap, x))
+                  for i, (lap, x, w) in enumerate(zip(laplacians, xs,
+                                                      weights))]
             new_carry.append(state)
         return xs, new_carry
+
+    def reuse_profile(self) -> list:
+        # W_t evolves at every timestep, so every row of a layer's
+        # output changes across time even where the aggregation did not
+        return ["dense"] * self.num_layers
 
     # -- cost model ------------------------------------------------------------------------
     def gcn_flops_per_step(self, nnz: int, rows: int) -> tuple[float, float]:

@@ -75,16 +75,25 @@ class TMGCN(DynamicGNN):
     def init_carry(self, rows: int) -> list:
         return [self.rnn_init(idx, rows) for idx in range(self.num_layers)]
 
-    def forward_block(self, laplacians, frames, carry):
+    def forward_block(self, laplacians, frames, carry, t0: int = 0):
         xs = frames
         new_carry = []
         for idx in range(self.num_layers):
-            ys = [self.gcn_forward(idx, lap, x)
-                  for lap, x in zip(laplacians, xs)]
+            gcn = self.gcn_layer(idx)
+            ys = [gcn.forward_precomputed(
+                      self.aggregate(idx, t0 + i, lap, x))
+                  for i, (lap, x) in enumerate(zip(laplacians, xs))]
             ys, history = self.rnn_block(idx, ys, carry[idx])
             new_carry.append(history)
             xs = ys
         return xs, new_carry
+
+    def reuse_profile(self) -> list:
+        # the M-transform is a trailing-window average over GCN outputs
+        # whose weights are shared across timesteps: a row differs from
+        # the previous timestep only if one of the last ``window``
+        # aggregations touched it, so deeper layers stay patchable
+        return [("window", self.window)] * self.num_layers
 
     # -- cost model -----------------------------------------------------------------------
     def gcn_flops_per_step(self, nnz: int, rows: int) -> tuple[float, float]:

@@ -81,9 +81,12 @@ class GCNLayer(Module):
         return out
 
     def forward_with_weight(self, laplacian: SparseMatrix, x: Tensor,
-                            weight: Tensor) -> Tensor:
-        """EvolveGCN path: use an externally evolved weight ``W_t``."""
-        aggregated = spmm(laplacian, x)
+                            weight: Tensor,
+                            precomputed: Tensor | None = None) -> Tensor:
+        """EvolveGCN path: use an externally evolved weight ``W_t``
+        (optionally over a pre-computed / reuse-patched ``Ã·X``)."""
+        aggregated = precomputed if precomputed is not None \
+            else spmm(laplacian, x)
         projected = aggregated @ weight
         if self.activation == "relu":
             projected = F.relu(projected)

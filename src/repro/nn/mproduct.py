@@ -21,8 +21,33 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.tensor import Tensor
+from repro.tensor.tensor import as_tensor
 
-__all__ = ["m_matrix", "m_transform_frames", "m_transform_flops"]
+__all__ = ["m_matrix", "m_transform_frames", "m_transform_flops",
+           "window_average"]
+
+
+def window_average(contributors: list[Tensor]) -> Tensor:
+    """Uniform average of equally shaped frames as ONE tape node.
+
+    The naive ``x₀·s + x₁·s + …`` chain allocates an intermediate (and
+    an autograd node) per contributor; a T-step timeline pays that for
+    every output frame.  This op accumulates in place and records a
+    single backward (each parent receives ``g · 1/len``), which is what
+    keeps the M-transform off the training profile's hot list.
+    """
+    contributors = [as_tensor(c) for c in contributors]
+    if not contributors:
+        raise ConfigError("window_average needs at least one frame")
+    scale = 1.0 / len(contributors)
+    acc = contributors[0].data * scale
+    for extra in contributors[1:]:
+        acc += extra.data * scale
+    def backward(g):
+        shared = g * scale
+        return tuple(shared for _ in contributors)
+
+    return Tensor._make(acc, tuple(contributors), backward)
 
 
 def m_matrix(num_timesteps: int, window: int) -> np.ndarray:
@@ -62,12 +87,7 @@ def m_transform_frames(frames: list[Tensor], window: int,
     outputs: list[Tensor] = []
     for x in frames:
         active = past[-(window - 1):] if window > 1 else []
-        contributors = active + [x]
-        scale = 1.0 / len(contributors)
-        acc = contributors[0] * scale
-        for extra in contributors[1:]:
-            acc = acc + extra * scale
-        outputs.append(acc)
+        outputs.append(window_average(active + [x]))
         past.append(x)
     new_history = past[-(window - 1):] if window > 1 else []
     return outputs, new_history

@@ -144,6 +144,31 @@ class SnapshotCommPlan:
                     bytes_per_value
         return out
 
+    def bytes_matrix_rows(self, feature_dim: int, rows: np.ndarray,
+                          bytes_per_value: int = 4) -> np.ndarray:
+        """P×P payload matrix restricted to the given (renamed) rows.
+
+        The delta-halo exchange of the training reuse layer: receivers
+        mirror the remote feature rows across timesteps, so a step only
+        ships the send-list rows whose values actually changed
+        (``rows`` — the delta-touched input rows).  ``rows`` must be
+        sorted (the reuse cache emits sorted unique sets).
+        """
+        p_count = self.num_ranks
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.zeros((p_count, p_count))
+        if len(rows) == 0:
+            return out
+        for p in range(p_count):
+            for q in range(p_count):
+                send = self.send[p][q]
+                if len(send):
+                    pos = np.searchsorted(rows, send)
+                    pos = np.minimum(pos, len(rows) - 1)
+                    count = int((rows[pos] == send).sum())
+                    out[p, q] = count * feature_dim * bytes_per_value
+        return out
+
 
 def hypergraph_vertex_partition(dtdg: DTDG, num_ranks: int,
                                 balance_eps: float = 0.10,

@@ -211,6 +211,25 @@ class InferenceEngine:
         """The engine's incremental ``Ã`` maintainer."""
         return self._maintainer
 
+    def adopt_maintainer(self, maintainer: LaplacianMaintainer) -> None:
+        """Point this engine at a shared (router-owned) ``Ã`` maintainer.
+
+        The sharded tier holds ONE maintainer for all worker/replica
+        engines; recovery re-injects it here so a rebooted tier keeps
+        the shared-operator invariant (and its O(delta) update profile)
+        instead of silently falling back to per-engine copies.  The
+        maintainer must already be at this engine's resident — a shared
+        operator cannot be rebased per adopter, so a mismatch is a
+        caller bug, not something to repair here.
+        """
+        if self._resident is not None and \
+                maintainer.resident is not self._resident:
+            raise ConfigError(
+                "cannot adopt a shared maintainer whose resident differs "
+                "from this engine's — recover/rebuild through a common "
+                "snapshot before injecting")
+        self._maintainer = maintainer
+
     def set_snapshot(self, snapshot: GraphSnapshot,
                      seeds: np.ndarray | None, *,
                      features: np.ndarray | None = None,
@@ -250,11 +269,16 @@ class InferenceEngine:
             self.cache.invalidate(snapshot, seeds)
 
     # -- stepping ---------------------------------------------------------------------
-    def advance(self, snapshot: GraphSnapshot | None = None) -> np.ndarray:
-        """Move the timeline one step forward and recompute every row."""
+    def advance(self, snapshot: GraphSnapshot | None = None, *,
+                diff: SnapshotDiff | None = None) -> np.ndarray:
+        """Move the timeline one step forward and recompute every row.
+
+        ``diff`` is the optional GD delta from the current resident to
+        the rebase ``snapshot``; with it the maintained ``Ã`` advances
+        incrementally instead of rebuilding in full."""
         self._settle()
         if snapshot is not None:
-            self.set_snapshot(snapshot, seeds=None)
+            self.set_snapshot(snapshot, seeds=None, diff=diff)
         if self._primed:
             self._promote_carries()
         if self.kind == "egcn":

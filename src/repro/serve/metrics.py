@@ -18,23 +18,54 @@ __all__ = ["LatencyTracker", "ServerCounters", "ServerStats"]
 class LatencyTracker:
     """Collects per-request latencies and reports percentiles.
 
-    Latencies are kept as a plain list (the workloads here are 1e3–1e5
-    requests); a production tier would swap in a fixed-size reservoir or
-    a t-digest without changing the interface.
+    Samples live in a **fixed-size reservoir** (Vitter's Algorithm R
+    with a deterministic generator), so a long-running server's memory
+    stays bounded no matter how many requests it answers.  Below
+    ``reservoir_size`` recorded latencies the reservoir holds every
+    sample and the percentiles are exact; beyond it each recorded value
+    displaces a uniformly chosen slot, keeping an unbiased sample of
+    the whole stream.  ``count`` and ``mean`` track the *full* stream
+    exactly (a running counter and sum), only the percentile estimates
+    come from the reservoir.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.reservoir_size = reservoir_size
         self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._rng = np.random.default_rng(seed)
 
     def record(self, latency_ms: float) -> None:
-        self._samples.append(float(latency_ms))
+        latency_ms = float(latency_ms)
+        self._count += 1
+        self._sum += latency_ms
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(latency_ms)
+            return
+        # Algorithm R: the i-th record replaces a reservoir slot with
+        # probability reservoir_size / i (uniform slot choice)
+        slot = int(self._rng.integers(0, self._count))
+        if slot < self.reservoir_size:
+            self._samples[slot] = latency_ms
 
     @property
     def count(self) -> int:
+        """Total latencies recorded (the full stream, not the sample)."""
+        return self._count
+
+    @property
+    def sampled(self) -> int:
+        """Latencies currently resident in the reservoir."""
         return len(self._samples)
 
     def percentile(self, q: float) -> float:
-        """Latency percentile in milliseconds (``q`` in [0, 100])."""
+        """Latency percentile in milliseconds (``q`` in [0, 100]);
+        exact while the stream fits the reservoir, an unbiased
+        reservoir estimate beyond it."""
         if not self._samples:
             return float("nan")
         return float(np.percentile(np.asarray(self._samples), q))
@@ -53,9 +84,10 @@ class LatencyTracker:
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        """Exact mean over the full stream."""
+        if self._count == 0:
             return float("nan")
-        return float(np.mean(self._samples))
+        return self._sum / self._count
 
 
 @dataclass

@@ -279,6 +279,11 @@ class QueryFrontend:
                     record_index, start=self.ingestor.resident):
                 if op == "events":
                     self.ingest_events(payload)
+                elif op == "rebase":
+                    # snapshot-sealed boundary: the decoded GD delta
+                    # keeps the resident Ã maintainer incremental
+                    snapshot, diff = payload
+                    self.advance_time(snapshot, diff=diff)
                 else:
                     self.advance_time(payload)
         finally:
@@ -421,14 +426,20 @@ class ModelServer(QueryFrontend):
             self.engine.set_snapshot(result.snapshot, seeds=None)
         return count
 
-    def advance_time(self, snapshot: GraphSnapshot | None = None) -> None:
+    def advance_time(self, snapshot: GraphSnapshot | None = None, *,
+                     diff=None) -> None:
         """Cross a timestep boundary: temporal carries move forward and
         every row recomputes (both serving modes pay this).  With a
         store attached the boundary seals a timestep in the WAL (a
         rebase snapshot lands as a GD delta) and the engine state is
-        captured every ``state_interval`` boundaries."""
+        captured every ``state_interval`` boundaries.  ``diff`` is the
+        optional GD delta from the current resident to a rebase
+        ``snapshot`` — with it the engine's Ã maintainer advances
+        incrementally instead of rebuilding (recovery replay passes the
+        store-decoded delta here)."""
         self._store_log_boundary(snapshot)
-        self.engine.advance(snapshot)
+        self.engine.advance(snapshot, diff=diff if self.incremental
+                            else None)
         if snapshot is not None:
             self.ingestor.rebase(snapshot)
         self.counters.advances += 1

@@ -231,8 +231,15 @@ class ShardedServer(QueryFrontend):
         kwargs.setdefault("replicas", meta["replicas"])
         server = cls(model, resident, plan=plan, **kwargs)
         steps = int(meta["steps"])
+        # the tier invariant the crashed server ran with: ONE
+        # router-owned Ã maintainer shared by every worker/replica
+        # engine.  The constructor injects it, but recovery re-asserts
+        # the injection explicitly so the WAL tail (and all serving
+        # after it) replays through the O(delta) incremental path
+        # rather than per-engine full rebuilds.
         for rs in server.shards:
             for w in rs.workers:
+                w.engine.adopt_maintainer(server.maintainer)
                 w.engine.adopt_state(exports, steps)
                 if len(dirty):
                     w.engine.cache.mark_dirty(
@@ -330,24 +337,30 @@ class ShardedServer(QueryFrontend):
         self.counters.commits += 1
         return count
 
-    def advance_time(self, snapshot: GraphSnapshot | None = None) -> None:
+    def advance_time(self, snapshot: GraphSnapshot | None = None, *,
+                     diff=None) -> None:
         """Cross a timestep boundary: promote carries everywhere, run
         the bulk halo exchange, recompute every covered row.  With a
         store attached the boundary seals a WAL timestep and the tier
-        state is captured every ``state_interval`` boundaries."""
+        state is captured every ``state_interval`` boundaries.
+        ``diff`` is the optional GD delta from the current resident to
+        a rebase ``snapshot`` — with it the tier's shared Ã maintainer
+        advances incrementally (recovery replay passes the
+        store-decoded delta through here)."""
         self._store_log_boundary(snapshot)
         if snapshot is not None:
             self.ingestor.rebase(snapshot)
-        self._advance()
+        self._advance(diff=diff)
         self._maybe_rebalance()
         self._store_maybe_capture()
 
-    def _advance(self) -> None:
+    def _advance(self, diff=None) -> None:
         snap = self.ingestor.resident
         t0 = self.clock()
-        # a no-op unless advance_time rebased the resident wholesale,
-        # in which case the tier's shared operator rebuilds once here
-        self.maintainer.update(snap, None)
+        # a no-op unless advance_time rebased the resident wholesale —
+        # incremental when the rebase delta is in hand, a single full
+        # rebuild otherwise
+        self.maintainer.update(snap, diff)
         features, dinv = derive_serving_features(snap)
         self.router_busy_s += self.clock() - t0
         for rs in self.shards:

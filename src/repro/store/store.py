@@ -436,8 +436,13 @@ class GraphStore:
                     start: GraphSnapshot | None = None
                     ) -> Iterator[tuple[str, object]]:
         """Yield serving operations recorded after ``after_record``:
-        ``("events", [EdgeEvent...])`` for intra-step batches and
-        ``("advance", snapshot_or_None)`` for timestep boundaries.
+        ``("events", [EdgeEvent...])`` for intra-step batches,
+        ``("advance", None)`` for topology-free timestep seals, and
+        ``("rebase", (snapshot, diff))`` for snapshot-sealed boundaries
+        — the decoded GD delta rides along so a recovering server's
+        :class:`~repro.graph.inc_laplacian.LaplacianMaintainer` can
+        apply the rebase incrementally instead of rebuilding its
+        operator at every replayed boundary.
 
         A recovering server replays these through its normal
         ``ingest_events`` / ``advance_time`` paths.  ``start`` is the
@@ -453,8 +458,8 @@ class GraphStore:
                 state = codec.fold_events(state, events)
                 yield ("events", events)
             elif record.kind == KIND_DIFF:
-                _, state, _ = codec.decode_diff(record.payload, state)
-                yield ("advance", state)
+                diff, state, _ = codec.decode_diff(record.payload, state)
+                yield ("rebase", (state, diff))
             elif record.kind == KIND_SEAL:
                 yield ("advance", None)
 

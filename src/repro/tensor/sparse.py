@@ -20,7 +20,7 @@ import scipy.sparse as sp
 from repro.errors import ShapeError
 from repro.tensor.tensor import Tensor, as_tensor
 
-__all__ = ["SparseMatrix", "spmm", "spmm_rows"]
+__all__ = ["SparseMatrix", "spmm", "spmm_rows", "spmm_memo", "spmm_patch"]
 
 # Wire format of the (index, value) sparse representation the paper
 # ships CPU→GPU: PyTorch sparse tensors use int64 indices and float32
@@ -220,3 +220,95 @@ def spmm_rows(sparse: SparseMatrix, dense, rows: np.ndarray) -> Tensor:
         return (sub.T @ g,)
 
     return Tensor._make(out, (dense,), backward)
+
+
+def _check_spmm_operands(sparse: SparseMatrix, dense: Tensor,
+                         name: str) -> None:
+    if dense.ndim != 2:
+        raise ShapeError(f"{name} expects a 2-D dense operand, got "
+                         f"{dense.ndim}-D")
+    if sparse.shape[1] != dense.shape[0]:
+        raise ShapeError(
+            f"{name} shape mismatch: {sparse.shape} @ {dense.shape}")
+
+
+def spmm_memo(sparse: SparseMatrix, dense, product: np.ndarray) -> Tensor:
+    """``S @ X`` with the forward *values* taken from a memoized product.
+
+    ``product`` must be bit-equal to ``sparse.csr @ dense.data`` (the
+    caller — the training-tier :class:`~repro.train.reuse.AggregationCache`
+    — verifies this by comparing the dense operand against the one the
+    memo was computed from).  The forward therefore costs nothing, while
+    the backward is the *unconditional* true Jacobian ``S.T @ g`` — no
+    assumption beyond value equality is needed for exact gradients.
+    """
+    dense = as_tensor(dense)
+    _check_spmm_operands(sparse, dense, "spmm_memo")
+    product = np.asarray(product)
+    if product.shape != (sparse.shape[0], dense.shape[1]):
+        raise ShapeError(
+            f"spmm_memo product shape {product.shape} does not match "
+            f"{(sparse.shape[0], dense.shape[1])}")
+
+    def backward(g):
+        return (sparse.transposed_csr() @ g,)
+
+    return Tensor._make(product, (dense,), backward)
+
+
+def spmm_patch(sparse: SparseMatrix, dense, rows: np.ndarray,
+               base: np.ndarray, parent: Tensor | None = None) -> Tensor:
+    """``S @ X`` computed by patching a previous product's rows.
+
+    The output equals ``base`` with ``rows`` overwritten by
+    ``(S @ X)[rows]`` (row-sliced, bit-identical to the full product's
+    rows).  The caller guarantees that the untouched rows of ``base``
+    already equal the corresponding rows of ``S @ X`` — the
+    cross-timestep reuse invariant established by the delta-touched
+    frontier expansion.
+
+    Backward routes gradients through the sliced recompute:
+    ``dL/dX = S[rows, :].T @ g[rows]``.  When ``parent`` (the previous
+    timestep's product tensor, whose data is ``base``) is given, the
+    untouched rows' gradient ``g[~rows]`` flows to it — exact whenever
+    the untouched rows of both products are the *same function* of the
+    parameters, which the structural dirty propagation guarantees;
+    without a parent the untouched rows are treated as constants (only
+    valid when they carry no gradient, e.g. first-layer aggregations
+    over leaf features).
+    """
+    dense = as_tensor(dense)
+    _check_spmm_operands(sparse, dense, "spmm_patch")
+    rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+    if len(rows) and (rows.min() < 0 or rows.max() >= sparse.shape[0]):
+        raise ShapeError(
+            f"spmm_patch row index out of range for {sparse.shape[0]} rows")
+    base = np.asarray(base)
+    if base.shape != (sparse.shape[0], dense.shape[1]):
+        raise ShapeError(
+            f"spmm_patch base shape {base.shape} does not match "
+            f"{(sparse.shape[0], dense.shape[1])}")
+    if len(rows) == 0:
+        out = base
+        sub = None
+    else:
+        sub = sparse.csr[rows]
+        out = base.copy()
+        out[rows] = sub @ dense.data
+
+    if parent is None:
+        def backward(g):
+            if sub is None:
+                return (np.zeros_like(dense.data),)
+            return (sub.T @ g[rows],)
+
+        return Tensor._make(out, (dense,), backward)
+
+    def backward_chain(g):
+        g_parent = g.copy()
+        if sub is None:
+            return (np.zeros_like(dense.data), g_parent)
+        g_parent[rows] = 0.0
+        return (sub.T @ g[rows], g_parent)
+
+    return Tensor._make(out, (dense, parent), backward_chain)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -84,6 +85,11 @@ class CheckpointResult:
     num_blocks: int
     peak_live_timesteps: int
     carry_bytes: int
+    # wall seconds of the two forward sweeps (phase-1 streaming plus the
+    # phase-2 per-block re-runs, which are forward work re-executed for
+    # the backward schedule) — what the training bench reports as
+    # per-epoch forward time
+    forward_seconds: float = 0.0
 
 
 class CheckpointRunner:
@@ -108,7 +114,8 @@ class CheckpointRunner:
             for lo, hi in block_ranges(t_total, min(self.num_blocks,
                                                     t_total)):
                 block_out, carry = self.model.forward_block(
-                    list(laplacians[lo:hi]), list(frames[lo:hi]), carry)
+                    list(laplacians[lo:hi]), list(frames[lo:hi]), carry,
+                    t0=lo)
                 outs.extend(block_out)
         return outs
 
@@ -134,11 +141,14 @@ class CheckpointRunner:
         init_carry_live = self.model.init_carry(rows)
         carries: list[Any] = [detach_carry(init_carry_live)]
         total_loss = 0.0
+        forward_s = 0.0
         with no_grad():
             for lo, hi in ranges:
+                t0 = time.perf_counter()
                 block_out, carry = self.model.forward_block(
                     list(laplacians[lo:hi]), list(frames[lo:hi]),
-                    carries[-1])
+                    carries[-1], t0=lo)
+                forward_s += time.perf_counter() - t0
                 carries.append(detach_carry(carry))
                 loss = block_loss(block_out, lo)
                 if loss is not None:
@@ -150,8 +160,11 @@ class CheckpointRunner:
             lo, hi = ranges[b]
             carry_in = _leafify(carries[b])
             in_leaves = flatten_tensors(carry_in)
+            t0 = time.perf_counter()
             block_out, carry_out = self.model.forward_block(
-                list(laplacians[lo:hi]), list(frames[lo:hi]), carry_in)
+                list(laplacians[lo:hi]), list(frames[lo:hi]), carry_in,
+                t0=lo)
+            forward_s += time.perf_counter() - t0
 
             objective = block_loss(block_out, lo)
             # inject the future's gradient through the outgoing carry:
@@ -185,7 +198,8 @@ class CheckpointRunner:
         bsize = max(hi - lo for lo, hi in ranges)
         return CheckpointResult(
             loss=total_loss, num_blocks=nb, peak_live_timesteps=bsize,
-            carry_bytes=sum(carry_nbytes(c) for c in carries[1:]))
+            carry_bytes=sum(carry_nbytes(c) for c in carries[1:]),
+            forward_seconds=forward_s)
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ onto the cluster's clocks/ledgers as the real schedule would.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,7 +46,10 @@ from repro.partition.vertex_part import (SnapshotCommPlan, VertexPartition,
 from repro.tensor import Adam, Tensor, ops
 from repro.tensor.sparse import WIRE_FLOAT_BYTES
 from repro.train.metrics import EpochResult
-from repro.train.preprocess import compute_laplacians, degree_features
+from repro.train.preprocess import (compute_laplacians,
+                                    compute_laplacians_with_diffs,
+                                    degree_features)
+from repro.train.reuse import AggregationCache
 from repro.train.tasks import LinkPredictionTask
 
 __all__ = ["DistConfig", "DistributedTrainer"]
@@ -78,6 +82,13 @@ class DistConfig:
     # constant, charged per message on the issuing/receiving rank
     vertex_message_overhead: float = 8.0e-5
     precompute_first_layer: bool = False
+    # cross-timestep aggregation reuse (repro.train.reuse): patch
+    # delta-touched rows of each Ã·X instead of recomputing in full,
+    # charge the simulated devices for the rows actually recomputed,
+    # and — under vertex/hybrid partitioning — shrink the halo
+    # exchanges to the delta-touched boundary rows
+    reuse_aggregation: bool = False
+    reuse_crossover: float = 0.35
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +102,8 @@ class DistConfig:
             raise ConfigError("num_blocks must be >= 1")
         if self.group_size < 1:
             raise ConfigError("group_size must be >= 1")
+        if not 0.0 < self.reuse_crossover <= 1.0:
+            raise ConfigError("reuse_crossover must be in (0, 1]")
 
 
 class DistributedTrainer:
@@ -110,7 +123,8 @@ class DistributedTrainer:
         if self.train_t < 1:
             raise ConfigError("no training timesteps")
 
-        self.laplacians = compute_laplacians(dtdg)
+        self.laplacians, self._lap_diffs = \
+            compute_laplacians_with_diffs(dtdg)
         self.frames = [Tensor(f) for f in dtdg.features]
 
         if config.partitioning == "vertex":
@@ -120,11 +134,32 @@ class DistributedTrainer:
         else:
             self._setup_snapshot()
 
+        # cross-timestep reuse cache over whichever operator space the
+        # engine multiplies in (renamed for vertex partitioning)
+        self.reuse: AggregationCache | None = None
+        if config.reuse_aggregation:
+            if config.partitioning == "vertex":
+                from repro.graph.diff import encode_sequence
+                _, renamed_diffs = encode_sequence(self.renamed_snaps)
+                self.reuse = AggregationCache(
+                    self.renamed_laps, renamed_diffs, self.renamed_snaps,
+                    model.reuse_profile(),
+                    crossover=config.reuse_crossover)
+            else:
+                self.reuse = AggregationCache(
+                    self.laplacians, self._lap_diffs, dtdg.snapshots,
+                    model.reuse_profile(),
+                    crossover=config.reuse_crossover)
+
         params = model.parameters() + task.head.parameters()
         self.optimizer = Adam(params, lr=config.learning_rate)
         self._grad_nbytes = sum(p.nbytes for p in params)
         self._replay_comm: list[np.ndarray] = []
         self._block_transfer_log: list = []
+        # seconds of per-rank sparse compute charged by the reuse path
+        # (forward + its exact backward estimate) — excluded from the
+        # backward factor sweep, which would otherwise re-multiply them
+        self._reuse_sparse_s = [0.0] * self.num_ranks
 
     @classmethod
     def from_store(cls, model: DynamicGNN, store, task_factory,
@@ -211,10 +246,19 @@ class DistributedTrainer:
     # shared charging helpers
     # ------------------------------------------------------------------
     def _charge_a2a(self, matrix: np.ndarray, label: str,
-                    record: bool = True) -> None:
-        self.cluster.comm.all_to_all_bytes(matrix, label=label)
+                    record: bool = True,
+                    full_equivalent: np.ndarray | None = None) -> None:
+        self.cluster.comm.all_to_all_bytes(matrix, label=label,
+                                           full_equivalent=full_equivalent)
         if record:
-            self._replay_comm.append((matrix, label))
+            self._replay_comm.append((matrix, label, full_equivalent))
+
+    def _charge_sparse_rank(self, rank: int, flops: float) -> None:
+        """Charge delta-aware sparse FLOPs (forward + exact-backward
+        estimate) onto one rank, remembering the seconds so the
+        backward factor sweep does not re-multiply them."""
+        secs = self.cluster.device(rank).compute_sparse(flops)
+        self._reuse_sparse_s[rank] += secs
 
     def _charge_packing(self, matrix: np.ndarray) -> None:
         """Irregular exchange overheads (vertex partitioning): per-byte
@@ -343,10 +387,18 @@ class DistributedTrainer:
                 lap = self.laplacians[t]
                 sparse, dense = self.model.gcn_layer(idx).flops(lap.nnz, n)
                 device = self.cluster.device(int(owner[i]))
-                device.compute_sparse(sparse)
+                agg = None
+                if self.reuse is not None:
+                    agg = self.reuse.aggregate(idx, t, lap, xs[i])
+                    call = self.reuse.last_call
+                    self._charge_sparse_rank(
+                        int(owner[i]),
+                        call.forward_flops + call.backward_flops)
+                else:
+                    device.compute_sparse(sparse)
                 device.compute_dense(dense)
-                new_xs.append(self.model.gcn_with_weight(
-                    idx, lap, xs[i], weights[i]))
+                new_xs.append(self.model.gcn_layer(idx).forward_with_weight(
+                    lap, xs[i], weights[i], precomputed=agg))
             xs = new_xs
         return xs, wstates
 
@@ -363,9 +415,18 @@ class DistributedTrainer:
             lap = self.laplacians[t]
             sparse, dense = self.model.gcn_layer(idx).flops(lap.nnz, n)
             device = self.cluster.device(int(owner[i]))
-            device.compute_sparse(sparse)
+            agg = None
+            if self.reuse is not None:
+                agg = self.reuse.aggregate(idx, t, lap, xs[i])
+                call = self.reuse.last_call
+                self._charge_sparse_rank(
+                    int(owner[i]),
+                    call.forward_flops + call.backward_flops)
+            else:
+                device.compute_sparse(sparse)
             device.compute_dense(dense)
-            ys.append(self.model.gcn_forward(idx, lap, xs[i]))
+            ys.append(self.model.gcn_forward(idx, lap, xs[i],
+                                             precomputed=agg))
         feat = ys[0].shape[1]
 
         # redistribution 1: snapshot layout -> vertex-chunk layout
@@ -458,9 +519,25 @@ class DistributedTrainer:
             raise ConfigError("epoch produced no loss terms")
         return total_loss, last_embedding
 
-    def _vertex_spmm_comm(self, t: int, feat: int) -> None:
-        matrix = self.comm_plans[t].bytes_matrix(feat)
-        self._charge_a2a(matrix, "redistribution")
+    def _vertex_spmm_comm(self, t: int, feat: int,
+                          halo_rows: np.ndarray | None = None) -> None:
+        """Charge one SpMM's neighbor-row exchange.
+
+        ``halo_rows`` (delta-aware mode) are the renamed input rows
+        whose values changed since the previous timestep: receivers
+        mirror remote rows across timesteps, so only the changed
+        send-list rows move — the full exchange is recorded as the
+        event's full-equivalent volume.  ``None`` ships everything (the
+        always-full baseline, a chain reset, or an unknown delta).
+        """
+        plan = self.comm_plans[t]
+        full = plan.bytes_matrix(feat)
+        if halo_rows is None:
+            self._charge_a2a(full, "redistribution")
+            self._charge_packing(full)
+            return
+        matrix = plan.bytes_matrix_rows(feat, halo_rows)
+        self._charge_a2a(matrix, "redistribution", full_equivalent=full)
         self._charge_packing(matrix)
 
     def _vertex_layer_block(self, idx, lo, hi, xs, layer_states):
@@ -468,16 +545,29 @@ class DistributedTrainer:
         gcn = self.model.gcn_layer(idx)
         ys = []
         for i, t in enumerate(range(lo, hi)):
-            self._vertex_spmm_comm(t, gcn.in_features)
             lap = self.renamed_laps[t]
+            agg = None
+            if self.reuse is not None:
+                agg = self.reuse.aggregate(idx, t, lap, xs[i])
+                call = self.reuse.last_call
+                self._vertex_spmm_comm(t, gcn.in_features,
+                                       halo_rows=call.halo_rows)
+                per_rank = AggregationCache.rank_sparse_flops(
+                    call, lap, self.vpart.chunks.ranges)
+                for r in range(p_count):
+                    self._charge_sparse_rank(r, per_rank[r])
+            else:
+                self._vertex_spmm_comm(t, gcn.in_features)
             for r in range(p_count):
                 rows = self.vpart.chunks.size(r)
-                sparse = 2.0 * self.row_nnz[t][r] * gcn.in_features
                 dense = 2.0 * rows * gcn.in_features * gcn.out_features
                 device = self.cluster.device(r)
-                device.compute_sparse(sparse)
+                if self.reuse is None:
+                    device.compute_sparse(
+                        2.0 * self.row_nnz[t][r] * gcn.in_features)
                 device.compute_dense(dense)
-            ys.append(self.model.gcn_forward(idx, lap, xs[i]))
+            ys.append(self.model.gcn_forward(idx, lap, xs[i],
+                                             precomputed=agg))
 
         # RNN: communication-free; charge each rank for its own vertices,
         # execute the row-independent numerics once (identical results)
@@ -502,16 +592,29 @@ class DistributedTrainer:
                     max(self.model.num_layers, 1))
             new_xs = []
             for i, t in enumerate(range(lo, hi)):
-                self._vertex_spmm_comm(t, gcn.in_features)
+                lap = self.renamed_laps[t]
+                agg = None
+                if self.reuse is not None:
+                    agg = self.reuse.aggregate(idx, t, lap, xs[i])
+                    call = self.reuse.last_call
+                    self._vertex_spmm_comm(t, gcn.in_features,
+                                           halo_rows=call.halo_rows)
+                    per_rank = AggregationCache.rank_sparse_flops(
+                        call, lap, self.vpart.chunks.ranges)
+                    for r in range(self.num_ranks):
+                        self._charge_sparse_rank(r, per_rank[r])
+                else:
+                    self._vertex_spmm_comm(t, gcn.in_features)
                 for r in range(self.num_ranks):
                     rows = self.vpart.chunks.size(r)
                     device = self.cluster.device(r)
-                    device.compute_sparse(
-                        2.0 * self.row_nnz[t][r] * gcn.in_features)
+                    if self.reuse is None:
+                        device.compute_sparse(
+                            2.0 * self.row_nnz[t][r] * gcn.in_features)
                     device.compute_dense(
                         2.0 * rows * gcn.in_features * gcn.out_features)
-                new_xs.append(self.model.gcn_with_weight(
-                    idx, self.renamed_laps[t], xs[i], weights[i]))
+                new_xs.append(gcn.forward_with_weight(
+                    lap, xs[i], weights[i], precomputed=agg))
             xs = new_xs
         return xs, wstates
 
@@ -563,27 +666,55 @@ class DistributedTrainer:
                 group = int(owner_map[t])
                 members = plan.groups[group]
                 feat = gcn.in_features
-                # intra-group all-gather of X_t row blocks
+                lap = self.laplacians[t]
+                agg = None
+                call = None
+                if self.reuse is not None:
+                    agg = self.reuse.aggregate(idx, t, lap, xs[t])
+                    call = self.reuse.last_call
+                # intra-group all-gather of X_t row blocks; delta-aware
+                # members mirror each other's rows across timesteps and
+                # gather only the rows that changed since t-1
+                halo = call.halo_rows if call is not None else None
+                full = np.zeros((self.num_ranks, self.num_ranks))
                 matrix = np.zeros((self.num_ranks, self.num_ranks))
                 for i, src in enumerate(members):
                     rows = plan.row_chunks.size(i)
+                    c_lo, c_hi = plan.row_chunks.ranges[i]
+                    if halo is None:
+                        changed = rows
+                    else:
+                        changed = int(np.searchsorted(halo, c_hi)
+                                      - np.searchsorted(halo, c_lo))
                     for dst in members:
                         if dst != src:
-                            matrix[src, dst] = rows * feat * WIRE_FLOAT_BYTES
-                self._charge_a2a(matrix, "allgather")
+                            full[src, dst] = rows * feat * WIRE_FLOAT_BYTES
+                            matrix[src, dst] = changed * feat * \
+                                WIRE_FLOAT_BYTES
+                if halo is None:
+                    self._charge_a2a(full, "allgather")
+                else:
+                    self._charge_a2a(matrix, "allgather",
+                                     full_equivalent=full)
+                if call is not None:
+                    per_member = AggregationCache.rank_sparse_flops(
+                        call, lap, plan.row_chunks.ranges)
                 for i, rank in enumerate(members):
                     device = self.cluster.device(rank)
-                    device.compute_sparse(
-                        2.0 * self.hybrid_row_nnz[t][i] * feat)
+                    if call is None:
+                        device.compute_sparse(
+                            2.0 * self.hybrid_row_nnz[t][i] * feat)
+                    else:
+                        self._charge_sparse_rank(rank, per_member[i])
                     device.compute_dense(
                         2.0 * plan.row_chunks.size(i) * feat *
                         gcn.out_features)
                 if self.model.kind == "evolve":
-                    ys.append(self.model.gcn_with_weight(
-                        idx, self.laplacians[t], xs[t], weights[t]))
+                    ys.append(gcn.forward_with_weight(
+                        lap, xs[t], weights[t], precomputed=agg))
                 else:
                     ys.append(self.model.gcn_forward(
-                        idx, self.laplacians[t], xs[t]))
+                        idx, lap, xs[t], precomputed=agg))
             if self.model.kind == "evolve":
                 xs = ys
                 continue
@@ -622,18 +753,34 @@ class DistributedTrainer:
         self._replay_comm.clear()
         self._block_transfer_log.clear()
         self.optimizer.zero_grad()
-        fwd_compute = [0.0] * self.num_ranks
+        self._reuse_sparse_s = [0.0] * self.num_ranks
+        if self.reuse is not None:
+            self.reuse.begin_epoch()
+            # the cache's resident products are sharded by row
+            # ownership in a real delta-aware execution: hold each
+            # rank's share on its ledger for the epoch (retired by the
+            # end-of-epoch free_all with the carries and row shares)
+            share = max(self.reuse.resident_nbytes // self.num_ranks, 1)
+            for device in self.cluster.devices:
+                device.alloc(share, "reuse-cache")
 
-        if cfg.partitioning == "vertex":
-            loss, last_embed = self._vertex_epoch_forward()
-        elif cfg.partitioning == "hybrid":
-            loss, last_embed = self._hybrid_epoch_forward()
-        else:
-            loss, last_embed = self._snapshot_epoch_forward()
-
-        loss.backward()
+        t0 = time.perf_counter()
+        try:
+            if cfg.partitioning == "vertex":
+                loss, last_embed = self._vertex_epoch_forward()
+            elif cfg.partitioning == "hybrid":
+                loss, last_embed = self._hybrid_epoch_forward()
+            else:
+                loss, last_embed = self._snapshot_epoch_forward()
+            forward_wall = time.perf_counter() - t0
+            loss.backward()
+        finally:
+            if self.reuse is not None:
+                self.reuse.release()
         rerun = cfg.num_blocks > 1 and cfg.partitioning != "hybrid"
-        self._charge_backward_mixed(fwd_compute, rerun)
+        # reuse-charged sparse seconds already include their own exact
+        # backward estimate — exclude them from the factor sweep
+        self._charge_backward_mixed(list(self._reuse_sparse_s), rerun)
 
         # end-of-epoch gradient aggregation (replicated weights, §5.5)
         self.cluster.comm.all_reduce_sum(
@@ -648,6 +795,10 @@ class DistributedTrainer:
         breakdown = self.cluster.breakdown
         for device in self.cluster.devices:  # retire carries & row shares
             device.free_all()
+        agg_flops = agg_full = 0.0
+        if self.reuse is not None:
+            agg_flops = self.reuse.stats.forward_flops
+            agg_full = self.reuse.stats.full_equivalent_flops
         return EpochResult(
             loss=loss.item(),
             breakdown=breakdown,
@@ -659,6 +810,12 @@ class DistributedTrainer:
             transfer_bytes=transfer_bytes,
             transfer_naive_equivalent_bytes=naive_equiv,
             peak_memory_bytes=self.cluster.peak_memory(),
+            forward_wall_s=forward_wall,
+            comm_volume_full_units=(
+                self.cluster.comm.full_equivalent_units("redistribution") +
+                self.cluster.comm.full_equivalent_units("allgather")),
+            agg_flops=agg_flops,
+            agg_flops_full_equivalent=agg_full,
         )
 
     def _charge_backward_mixed(self, fwd_compute: list[float],
@@ -667,9 +824,11 @@ class DistributedTrainer:
         for r, clock in enumerate(self.cluster.clocks):
             fwd = clock.breakdown.compute - fwd_compute[r]
             clock.advance("compute", cfg.backward_compute_factor * fwd)
-        for matrix, label in list(self._replay_comm):
+        for matrix, label, full in list(self._replay_comm):
             matrix = np.asarray(matrix).T
-            self.cluster.comm.all_to_all_bytes(matrix, label=label)
+            full = np.asarray(full).T if full is not None else None
+            self.cluster.comm.all_to_all_bytes(matrix, label=label,
+                                               full_equivalent=full)
             if cfg.partitioning == "vertex":
                 self._charge_packing(matrix)
         if rerun_transfers:

@@ -26,6 +26,17 @@ class EpochResult:
     transfer_bytes: int = 0
     transfer_naive_equivalent_bytes: int = 0
     peak_memory_bytes: int = 0
+    # wall seconds the epoch spent in forward sweeps (numerics, not the
+    # simulated clocks) — the training-reuse bench's headline metric
+    forward_wall_s: float = 0.0
+    # full-halo equivalent of comm_volume_units: what the exchanges
+    # would have shipped without delta-aware shrinking (equal to
+    # comm_volume_units when reuse is off)
+    comm_volume_full_units: float = 0.0
+    # sparse FLOPs the aggregation stage actually executed vs what an
+    # always-full execution would have (cache-reported; 0 when off)
+    agg_flops: float = 0.0
+    agg_flops_full_equivalent: float = 0.0
 
     @property
     def gd_savings_ratio(self) -> float:

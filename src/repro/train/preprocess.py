@@ -29,7 +29,8 @@ from repro.nn.mproduct import m_matrix
 from repro.tensor.sparse import SparseMatrix
 
 __all__ = ["degree_features", "apply_edge_life", "apply_mproduct_smoothing",
-           "compute_laplacians", "precompute_aggregation", "smooth_for_model"]
+           "compute_laplacians", "compute_laplacians_with_diffs",
+           "precompute_aggregation", "smooth_for_model"]
 
 
 def degree_features(dtdg: DTDG) -> list[np.ndarray]:
@@ -119,16 +120,28 @@ def compute_laplacians(dtdg: DTDG) -> list[SparseMatrix]:
     columns each transition changed.  The result is bit-compatible
     with a per-snapshot full rebuild.
     """
+    return compute_laplacians_with_diffs(dtdg)[0]
+
+
+def compute_laplacians_with_diffs(dtdg: DTDG):
+    """Per-snapshot ``Ã_t`` plus the GD deltas that produced them.
+
+    Returns ``(laplacians, diffs)`` where ``diffs[t - 1]`` encodes the
+    transition ``A_{t-1} → A_t``.  The training tier's cross-timestep
+    aggregation reuse consumes the diffs to derive each timestep's
+    delta-touched row set, so they are exposed here instead of being
+    recomputed from the snapshots a second time.
+    """
     snapshots = dtdg.snapshots
     if not snapshots:
-        return []
+        return [], []
     first, diffs = encode_sequence(snapshots)
     maintainer = LaplacianMaintainer(first)
     laplacians = [maintainer.export()]
     for snap, diff in zip(snapshots[1:], diffs):
         maintainer.update(snap, diff)
         laplacians.append(maintainer.export())
-    return laplacians
+    return laplacians, diffs
 
 
 def precompute_aggregation(laplacians: list[SparseMatrix],

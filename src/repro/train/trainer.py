@@ -16,6 +16,7 @@ single-GPU resource behaviour:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +31,9 @@ from repro.partition.snapshot_part import block_ranges
 from repro.tensor import Adam, Tensor
 from repro.train.checkpoint import CheckpointRunner, carry_nbytes
 from repro.train.metrics import EpochResult
-from repro.train.preprocess import compute_laplacians, degree_features
+from repro.train.preprocess import (compute_laplacians_with_diffs,
+                                    degree_features)
+from repro.train.reuse import AggregationCache
 from repro.train.tasks import LinkPredictionTask
 
 __all__ = ["TrainerConfig", "SingleDeviceTrainer"]
@@ -43,18 +46,27 @@ class TrainerConfig:
     ``num_blocks = 1`` is the non-checkpointed baseline; larger values
     enable the §3.1 schedule.  ``use_graph_difference`` switches the
     snapshot transfer between Base and GD (§3.2).
+    ``reuse_aggregation`` enables the cross-timestep aggregation cache
+    (:mod:`repro.train.reuse`): per-layer ``Ã·X`` products are patched
+    from the previous timestep's instead of recomputed in full —
+    identical numerics, delta-proportional forward work — and the
+    simulated device is charged for the rows actually recomputed.
     """
 
     num_blocks: int = 1
     use_graph_difference: bool = False
     learning_rate: float = 0.01
     backward_compute_factor: float = 2.0
+    reuse_aggregation: bool = False
+    reuse_crossover: float = 0.35
 
     def __post_init__(self) -> None:
         if self.num_blocks < 1:
             raise ConfigError("num_blocks must be >= 1")
         if self.learning_rate <= 0:
             raise ConfigError("learning_rate must be positive")
+        if not 0.0 < self.reuse_crossover <= 1.0:
+            raise ConfigError("reuse_crossover must be in (0, 1]")
 
 
 class SingleDeviceTrainer:
@@ -71,7 +83,7 @@ class SingleDeviceTrainer:
         if dtdg.features is None:
             dtdg.set_features(degree_features(dtdg))
         self.dtdg = dtdg
-        self.laplacians = compute_laplacians(dtdg)
+        self.laplacians, diffs = compute_laplacians_with_diffs(dtdg)
         self.frames = [Tensor(f) for f in dtdg.features]
         # train on the first T timesteps; the held-out last snapshot is
         # only used by the task's test set (paper §6.4)
@@ -79,6 +91,11 @@ class SingleDeviceTrainer:
         params = model.parameters() + task.head.parameters()
         self.optimizer = Adam(params, lr=config.learning_rate)
         self._runner = CheckpointRunner(model, config.num_blocks)
+        self.reuse: AggregationCache | None = None
+        if config.reuse_aggregation:
+            self.reuse = AggregationCache(
+                self.laplacians, diffs, dtdg.snapshots,
+                model.reuse_profile(), crossover=config.reuse_crossover)
 
     @classmethod
     def from_store(cls, model: DynamicGNN, store, task_factory,
@@ -166,30 +183,75 @@ class SingleDeviceTrainer:
             sparse, dense = self.model.gcn_flops_per_step(nnz, n)
             rnn = self.model.rnn_flops_per_step(n)
             head = self.task.head_flops_per_step()
-            self.device.compute_sparse(sparse * factor)
+            if self.reuse is None:
+                # always-full baseline: every aggregation at full nnz
+                self.device.compute_sparse(sparse * factor)
             self.device.compute_dense((dense + rnn + head) * factor)
+
+    def _charge_reuse_sparse(self) -> None:
+        """Charge the aggregation work a delta-aware execution actually
+        pays: the cache's measured forward FLOPs (patched rows only,
+        re-runs memoized) plus its estimated backward FLOPs (the full
+        Jacobian where the operand carries gradients, the sliced one on
+        patched chains, nothing over leaf features)."""
+        if self.device is None or self.reuse is None:
+            return
+        stats = self.reuse.stats
+        self.device.compute_sparse(stats.forward_flops +
+                                   stats.backward_flops)
 
     # -- training --------------------------------------------------------------------------
     def train_epoch(self) -> EpochResult:
         laps = self.laplacians[:self.train_t]
         frames = self.frames[:self.train_t]
         self.optimizer.zero_grad()
+        # the reuse cache's products stay resident across the whole
+        # epoch (and across epochs): hold them on the ledger so peak
+        # memory reflects the compute-for-memory trade.  Epoch 0 sees
+        # last epoch's footprint (zero on the first), steady-state
+        # epochs the full one.
+        cache_hold = None
+        if self.device is not None and self.reuse is not None:
+            cache_hold = self.device.alloc(
+                max(self.reuse.resident_nbytes, 1), "reuse-cache")
         self._account_epoch_resources()
-        if self.config.num_blocks == 1:
-            outs = self.model(laps, frames)
-            loss = self.task.loss_full(outs)
-            loss.backward()
-            loss_value = loss.item()
-            final_embed = outs[-1]
-        else:
-            result = self._runner.run_epoch(laps, frames,
-                                            self.task.loss_block)
-            loss_value = result.loss
-            final_embed = self._runner.forward_streaming(laps, frames)[-1]
+        if self.reuse is not None:
+            self.reuse.begin_epoch()
+        self.model.set_aggregation_hook(
+            self.reuse.aggregate if self.reuse is not None else None)
+        try:
+            if self.config.num_blocks == 1:
+                t0 = time.perf_counter()
+                outs = self.model(laps, frames)
+                forward_wall = time.perf_counter() - t0
+                loss = self.task.loss_full(outs)
+                loss.backward()
+                loss_value = loss.item()
+                final_embed = outs[-1]
+            else:
+                result = self._runner.run_epoch(laps, frames,
+                                                self.task.loss_block)
+                loss_value = result.loss
+                t0 = time.perf_counter()
+                final_embed = self._runner.forward_streaming(
+                    laps, frames)[-1]
+                forward_wall = result.forward_seconds + \
+                    (time.perf_counter() - t0)
+        finally:
+            self.model.set_aggregation_hook(None)
+            if self.reuse is not None:
+                self.reuse.release()
+            if cache_hold is not None:
+                self.device.free(cache_hold)
+        self._charge_reuse_sparse()
         self.optimizer.step()
 
         breakdown = (self.device.clock.breakdown if self.device
                      else TimeBreakdown())
+        agg_flops = agg_full = 0.0
+        if self.reuse is not None:
+            agg_flops = self.reuse.stats.forward_flops
+            agg_full = self.reuse.stats.full_equivalent_flops
         return EpochResult(
             loss=loss_value,
             breakdown=TimeBreakdown(breakdown.transfer, breakdown.compute,
@@ -200,6 +262,9 @@ class SingleDeviceTrainer:
                 self.transfer.stats.snapshot_bytes_naive_equivalent),
             peak_memory_bytes=(self.device.peak_in_use if self.device
                                else 0),
+            forward_wall_s=forward_wall,
+            agg_flops=agg_flops,
+            agg_flops_full_equivalent=agg_full,
         )
 
     def _test_accuracy(self, final_embed: Tensor) -> float:

@@ -8,7 +8,9 @@ from repro.errors import DatasetError
 from repro.graph import (DiffDecoder, GraphSnapshot, apply_diff,
                          diff_snapshots, encode_sequence,
                          sequence_transfer_stats, split_diff_by_blocks)
+from repro.graph.diff import SnapshotDiff
 from repro.graph.generators import evolving_dtdg
+from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.tensor.sparse import VALUE_BYTES
 
 
@@ -318,3 +320,82 @@ class TestSplitDiffByBlocks:
         with pytest.raises(DatasetError):
             split_diff_by_blocks(diff, a, np.full(6, 7, dtype=np.int64),
                                  num_blocks=2)
+
+
+class TestSplitDiffValueHints:
+    """Per-block diffs must re-index encoder hints into the block-local
+    value order — whole-graph positions in a shard-local diff would
+    address the wrong edges (regression for the PR-4 value_hint)."""
+
+    def _weighted(self, n, pairs, values):
+        return GraphSnapshot(n, np.array(pairs, dtype=np.int64),
+                             np.array(values, dtype=np.float64))
+
+    def _scenario(self):
+        """Value-changed and added edges crossing the 2-block boundary
+        (owners: even vertices → block 0, odd → block 1)."""
+        n = 8
+        a = self._weighted(n, [[0, 1], [1, 2], [2, 4], [3, 5], [6, 7]],
+                           [1.0, 2.0, 3.0, 4.0, 5.0])
+        b = self._weighted(n, [[0, 1], [1, 2], [2, 4], [3, 5], [5, 6]],
+                           [1.0, 9.0, 3.0, 8.0, 6.0])
+        owners = np.arange(n) % 2
+        return a, b, diff_snapshots(a, b), owners
+
+    def _block_view(self, snapshot, owners, block):
+        mask = (owners[snapshot.edges[:, 0]] == block) | \
+            (owners[snapshot.edges[:, 1]] == block)
+        return GraphSnapshot(snapshot.num_vertices,
+                             snapshot.edges[mask],
+                             snapshot.values[mask])
+
+    def test_hints_are_block_local_positions(self):
+        a, b, diff, owners = self._scenario()
+        subs = split_diff_by_blocks(diff, b, owners)
+        for block, sub in enumerate(subs):
+            assert sub.value_hint is not None
+            added_pos, changed_pos = sub.value_hint
+            local = self._block_view(b, owners, block)
+            # hinted added positions address exactly the added edges,
+            # in the block-local canonical order
+            np.testing.assert_array_equal(local.edges[added_pos],
+                                          sub.added)
+            # hinted changed positions address edges whose value really
+            # changed from the previous snapshot
+            prev = {tuple(e): v for e, v in zip(a.edges, a.values)}
+            for pos in changed_pos:
+                edge = tuple(local.edges[pos])
+                assert prev[edge] != local.values[pos]
+
+    def test_hinted_and_hintless_maintainers_agree(self):
+        """The satellite contract: a shard-local mirror updated through
+        the re-indexed hint equals the hint-less (aligned-compare) path
+        bit for bit, with no maintainer fallback on either."""
+        a, b, diff, owners = self._scenario()
+        subs = split_diff_by_blocks(diff, b, owners)
+        for block, sub in enumerate(subs):
+            base = self._block_view(a, owners, block)
+            curr = self._block_view(b, owners, block)
+
+            hinted = LaplacianMaintainer(base)
+            hinted.update(curr, sub)
+            stripped = SnapshotDiff(removed=sub.removed, added=sub.added,
+                                    values=sub.values)
+            aligned = LaplacianMaintainer(base)
+            aligned.update(curr, stripped)
+
+            assert hinted.incremental_updates == 1
+            assert hinted.fallbacks == 0
+            assert aligned.incremental_updates == 1
+            h, al = hinted.export().csr, aligned.export().csr
+            np.testing.assert_array_equal(h.indptr, al.indptr)
+            np.testing.assert_array_equal(h.indices, al.indices)
+            np.testing.assert_array_equal(h.data, al.data)
+
+    def test_hintless_parent_yields_hintless_subs(self):
+        a, b, diff, owners = self._scenario()
+        stripped = SnapshotDiff(removed=diff.removed, added=diff.added,
+                                values=diff.values,
+                                base_checksum=diff.base_checksum)
+        subs = split_diff_by_blocks(stripped, b, owners)
+        assert all(s.value_hint is None for s in subs)

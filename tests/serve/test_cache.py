@@ -253,6 +253,49 @@ class TestLRUEviction:
         assert bounded.counters.rows_recomputed > \
             unbounded.counters.rows_recomputed
 
+    def test_evicted_row_in_dirty_frontier_recomputes_not_stale(self):
+        """The LRU ∩ dirty-frontier corner: evict a row, dirty it via
+        an event touching its neighborhood, then read it — the refresh
+        must recompute the row against the *new* topology, never serve
+        the value cached before eviction."""
+        from repro.graph import AMLSimConfig, generate_amlsim
+        from repro.models import build_model
+        from repro.serve import EdgeEvent, ModelServer
+
+        dtdg = generate_amlsim(AMLSimConfig(
+            num_accounts=60, num_timesteps=4, background_per_step=150,
+            partner_persistence=0.85, seed=9)).dtdg
+        model = build_model("cdgcn", in_features=2, seed=0)
+        server = ModelServer(model, dtdg[0], cache_max_rows=8)
+        server.advance_time()  # boundary eviction trims to the budget
+        victim = 7
+        # with untouched recency clocks the stable LRU evicts the
+        # lowest row ids first — the victim is out of the resident set
+        assert victim in server.cache.evicted
+        stale = server.engine.embeddings[victim].copy()
+        # an event incident to the victim pulls it into the dirty
+        # frontier (and must reclaim it from the evicted set)
+        server.ingest_events([EdgeEvent(victim, 3, "add", 5.0),
+                              EdgeEvent(12, victim, "add", 2.0)])
+        assert victim in server.cache.dirty
+        assert victim not in server.cache.evicted
+        reloaded_before = server.cache.rows_reloaded
+        a = server.submit_link(victim, 3)
+        server.drain()
+        served = server.engine.embeddings[victim].copy()
+        # reference: full recompute of the same resident state
+        server.cache.invalidate_all()
+        server.engine.refresh()
+        np.testing.assert_allclose(served,
+                                   server.engine.embeddings[victim],
+                                   atol=1e-12)
+        # the row really changed (a stale serve would be detectable)
+        assert not np.allclose(served, stale)
+        assert a.done
+        # reloads are only counted for evicted-row cache misses; the
+        # reclaim path recomputed through the dirty set instead
+        assert server.cache.rows_reloaded == reloaded_before
+
     def test_eviction_counters_surface_in_stats(self):
         from repro.graph import AMLSimConfig, generate_amlsim
         from repro.models import build_model

@@ -105,6 +105,79 @@ def test_sharded_server_recovers_exactly(stream20, name, tmp_path):
                                live.gathered_embeddings(), atol=1e-6)
 
 
+def _drive_with_rebases(server, dtdg, t_range):
+    """Boundary-rebase serving (the durable-serving example's drive):
+    each timestep lands in the WAL as a GD-delta record, plus one
+    intra-step event batch."""
+    for t in t_range:
+        server.advance_time(dtdg[t])
+        server.ingest_events(
+            events_between(dtdg[t], dtdg[min(t + 1, len(dtdg) - 1)])[:20])
+
+
+def test_sharded_recovery_shares_incremental_maintainer(stream20,
+                                                        tmp_path):
+    """Satellite regression: a recovered sharded tier re-injects ONE
+    router-owned LaplacianMaintainer into every worker/replica engine,
+    and the WAL tail (snapshot-sealed boundaries included) replays
+    through the O(delta) incremental path — no fallbacks, no per-
+    boundary full rebuilds."""
+    dtdg = stream20
+    model, fraud = _model_and_head("cdgcn")
+    live = ShardedServer(model, dtdg[0], num_shards=3, replicas=2,
+                         fraud_head=fraud)
+    store = GraphStore.create(str(tmp_path / "s"), dtdg.num_vertices,
+                              base_interval=4)
+    live.attach_store(store, state_interval=3)
+    _drive_with_rebases(live, dtdg, range(1, 9))
+
+    model2, fraud2 = _model_and_head("cdgcn")
+    recovered = ShardedServer.recover(
+        GraphStore.open(str(tmp_path / "s")), model=model2,
+        fraud_head=fraud2)
+    m = recovered.maintainer
+    # one shared operator across the whole tier
+    for rs in recovered.shards:
+        for w in rs.workers:
+            assert w.engine.maintainer is m
+    # the tail replay (events AND rebase boundaries) stayed incremental:
+    # the only full build is the boot-time construction
+    assert m.incremental_updates > 0
+    assert m.fallbacks == 0
+    assert m.full_rebuilds == 1
+    np.testing.assert_allclose(recovered.gathered_embeddings(),
+                               live.gathered_embeddings(), atol=1e-6)
+
+    # and serving after recovery keeps the incremental profile
+    before = m.incremental_updates
+    recovered.ingest_events(events_between(dtdg[8], dtdg[9]))
+    assert m.incremental_updates > before
+    assert m.fallbacks == 0
+
+
+def test_model_server_recovery_replays_rebases_incrementally(stream20,
+                                                             tmp_path):
+    """Snapshot-sealed boundaries replay with their store-decoded GD
+    delta: the recovered engine's maintainer advances incrementally
+    instead of rebuilding at every replayed boundary."""
+    dtdg = stream20
+    model, fraud = _model_and_head("tmgcn")
+    live = ModelServer(model, dtdg[0], fraud_head=fraud)
+    store = GraphStore.create(str(tmp_path / "s"), dtdg.num_vertices)
+    live.attach_store(store, state_interval=4)
+    _drive_with_rebases(live, dtdg, range(1, 8))
+
+    model2, fraud2 = _model_and_head("tmgcn")
+    recovered = ModelServer.recover(GraphStore.open(str(tmp_path / "s")),
+                                    model=model2, fraud_head=fraud2)
+    m = recovered.engine.maintainer
+    assert m.incremental_updates > 0
+    assert m.fallbacks == 0
+    assert m.full_rebuilds == 1
+    np.testing.assert_allclose(_full_embeddings(recovered),
+                               _full_embeddings(live), atol=1e-6)
+
+
 def test_recovery_from_model_checkpoint_file(stream20, tmp_path):
     """The documented production path: (checkpoint.npz, store) → server."""
     dtdg = stream20
