@@ -10,8 +10,9 @@ measured one and exits non-zero if any fresh ratio falls below
 ``slack`` (default 0.8, i.e. a >20% regression) of the recorded value.
 Ratios — not absolute times — are compared, so the guard is robust to
 runner hardware differences.  Guarded entries are discovered by walking
-the recorded json for keys named ``speedup``; benches deliberately name
-noisy, unguarded observations something else (e.g. ``wall_ratio``).
+the recorded json for keys named ``speedup`` or ending ``_speedup``
+(``throughput_speedup``); benches deliberately name noisy, unguarded
+observations something else (e.g. ``wall_ratio``).
 """
 
 import json
@@ -19,13 +20,14 @@ import sys
 
 
 def speedup_entries(payload, prefix=""):
-    """Yield (dotted-path, value) for every key named ``speedup``."""
+    """Yield (dotted-path, value) for every guarded speedup key."""
     if not isinstance(payload, dict):
         return
     for key in sorted(payload):
         path = f"{prefix}.{key}" if prefix else key
         value = payload[key]
-        if key == "speedup" and isinstance(value, (int, float)):
+        if (key == "speedup" or key.endswith("_speedup")) and \
+                isinstance(value, (int, float)):
             yield path, float(value)
         else:
             yield from speedup_entries(value, path)

@@ -16,6 +16,7 @@ reporting pipeline into ``results/``.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -27,6 +28,7 @@ from repro.graph.dtdg import DTDG
 from repro.models import build_model
 from repro.models.base import DynamicGNN
 from repro.nn.linear import Linear
+from repro.obs import Telemetry
 from repro.serve.ingest import EdgeEvent, events_between
 from repro.serve.metrics import ServerStats
 from repro.serve.server import ModelServer
@@ -82,6 +84,9 @@ class ServingBenchResult:
     num_queries: int
     num_events: int
     max_abs_divergence: float  # embeddings: incremental vs full recompute
+    # per-stage wall seconds from the traced third replay ({span name:
+    # seconds}; None when the traced replay was skipped)
+    stage_seconds: dict | None = None
 
     @property
     def throughput_speedup(self) -> float:
@@ -179,7 +184,7 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
                             config.seed)
     num_events = sum(len(ev) for batches in schedule for ev in batches)
 
-    def boot(incremental: bool) -> ModelServer:
+    def boot(incremental: bool, tracing: bool = False) -> ModelServer:
         model = build_model(config.model, in_features=2,
                             hidden=config.hidden,
                             embed_dim=config.embed_dim, seed=config.seed)
@@ -187,7 +192,8 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
             model, dtdg[0], fraud_head=_fraud_head(model, config.seed),
             max_batch_size=config.max_batch_size,
             flush_latency_ms=config.flush_latency_ms,
-            incremental=incremental)
+            incremental=incremental,
+            telemetry=Telemetry(tracing=True) if tracing else None)
         for t in range(1, start):
             server.advance_time(dtdg[t])
         return server
@@ -199,11 +205,19 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
     divergence = float(np.abs(srv_inc.engine.embeddings
                               - srv_full.engine.embeddings).max())
 
+    # a third, span-traced replay answers "where do the incremental
+    # milliseconds go?" — run separately so the A/B walls above stay
+    # untraced (the tracing-off overhead guard's contract)
+    srv_traced = boot(incremental=True, tracing=True)
+    replay_stream(srv_traced, schedule, plan)
+    stage_seconds = srv_traced.telemetry.stage_seconds()
+
     result = ServingBenchResult(
         incremental=srv_inc.stats(), full=srv_full.stats(),
         incremental_wall_s=wall_inc, full_wall_s=wall_full,
         num_queries=srv_inc.counters.queries_completed,
-        num_events=num_events, max_abs_divergence=divergence)
+        num_events=num_events, max_abs_divergence=divergence,
+        stage_seconds=stage_seconds)
 
     if report_name:
         rows = []
@@ -216,9 +230,8 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
                          round(stats.latency_p50_ms, 3),
                          round(stats.latency_p99_ms, 3),
                          stats.counters.rows_recomputed,
-                         round(stats.counters.cache_hit_rate, 3)
-                         if stats.counters.cache_hit_rate ==
-                         stats.counters.cache_hit_rate else "-"))
+                         "-" if math.isnan(stats.counters.cache_hit_rate)
+                         else round(stats.counters.cache_hit_rate, 3)))
         table = render_table(
             ["serving mode", "queries", "qps", "events", "p50 ms", "p99 ms",
              "rows recomputed", "cache hit rate"],
@@ -228,7 +241,16 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
                    f"({dtdg.num_timesteps - start} streamed timesteps; "
                    f"speedup {result.throughput_speedup:.2f}x, "
                    f"max divergence {divergence:.2e})"))
-        write_report(report_name, table)
+        reg = srv_traced.telemetry.registry
+        stage_rows = [(name, round(seconds * 1e3, 3),
+                       int(reg.value("span_calls_total", span=name)))
+                      for name, seconds in sorted(
+                          stage_seconds.items(),
+                          key=lambda kv: -kv[1])]
+        stage_table = render_table(
+            ["stage (span)", "total ms", "calls"], stage_rows,
+            title="Incremental replay stage breakdown (traced rerun)")
+        write_report(report_name, table + "\n" + stage_table)
         write_bench_json("serving", {
             "workload": {
                 "model": config.model,
@@ -239,6 +261,9 @@ def run_serving_benchmark(config: ServingWorkloadConfig | None = None,
             },
             "throughput_speedup": round(result.throughput_speedup, 3),
             "max_abs_divergence": divergence,
+            "stages_ms": {name: round(seconds * 1e3, 3)
+                          for name, seconds in sorted(
+                              stage_seconds.items())},
             "incremental": {
                 "qps": round(result.num_queries / wall_inc, 1),
                 "wall_s": round(wall_inc, 4),

@@ -1,0 +1,218 @@
+"""Exporters: Prometheus text exposition, JSONL event sink, tree dumps.
+
+Three consumers, three formats, one registry/tracer behind all of them:
+
+* :func:`prometheus_text` — the ``/metrics`` exposition format
+  (``# HELP`` / ``# TYPE`` + labeled sample lines; histograms export as
+  summaries with quantile lines plus ``_sum``/``_count``);
+* :class:`JsonlSink` + :func:`metrics_events` / :func:`span_events` —
+  newline-delimited JSON events for log shipping;
+* :func:`render_span_tree` / :func:`render_metrics` — human-readable
+  dumps for terminals and bench reports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = ["prometheus_text", "metrics_events", "span_events",
+           "JsonlSink", "render_span_tree", "render_metrics",
+           "span_seconds_by_name"]
+
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        val = str(labels[key]).replace("\\", "\\\\") \
+            .replace('"', '\\"').replace("\n", "\\n")
+        parts.append(f'{key}="{val}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, kind, help, series in registry.families():
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} "
+                     f"{'summary' if kind == 'histogram' else kind}")
+        for labels, metric in series:
+            if kind == "histogram":
+                for q, _ in _QUANTILES:
+                    qlabels = dict(labels, quantile=_fmt(q))
+                    lines.append(f"{name}{_label_str(qlabels)} "
+                                 f"{_fmt(metric.percentile(q * 100.0))}")
+                lines.append(f"{name}_sum{_label_str(labels)} "
+                             f"{_fmt(metric.sum)}")
+                lines.append(f"{name}_count{_label_str(labels)} "
+                             f"{_fmt(metric.count)}")
+            else:
+                lines.append(f"{name}{_label_str(labels)} "
+                             f"{_fmt(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSONL events --------------------------------------------------------------------------
+def metrics_events(registry: MetricsRegistry) -> list[dict]:
+    """One ``{"type": "metric", ...}`` event per labeled series."""
+    events = []
+    for name, kind, _, series in registry.families():
+        for labels, metric in series:
+            event: dict = {"type": "metric", "name": name, "kind": kind}
+            if labels:
+                event["labels"] = labels
+            if isinstance(metric, Histogram):
+                event["count"] = metric.count
+                event["sum"] = metric.sum
+                for q, key in _QUANTILES:
+                    event[key] = metric.percentile(q * 100.0)
+            else:
+                event["value"] = metric.value
+            events.append(event)
+    return events
+
+
+def span_events(source) -> list[dict]:
+    """``{"type": "span", ...}`` events for finished root spans.
+
+    ``source`` is a :class:`~repro.obs.tracing.Tracer` (its retained
+    roots), one :class:`~repro.obs.tracing.Span`, or an iterable of
+    spans; children ride along nested inside their root's event.
+    """
+    if isinstance(source, Tracer):
+        spans = list(source.roots)
+    elif isinstance(source, Span):
+        spans = [source]
+    else:
+        spans = list(source)
+    return [dict(span.to_dict(), type="span") for span in spans]
+
+
+class JsonlSink:
+    """Append JSON events, one per line, to a path or file object.
+
+    NaN-safe: non-finite floats are emitted as ``null`` (strict JSON —
+    the files must stay machine-readable by any parser).
+    """
+
+    def __init__(self, target) -> None:
+        if isinstance(target, (str, bytes)):
+            self._fh = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.events_written = 0
+
+    @staticmethod
+    def _clean(obj):
+        if isinstance(obj, float) and not math.isfinite(obj):
+            return None
+        if isinstance(obj, dict):
+            return {k: JsonlSink._clean(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [JsonlSink._clean(v) for v in obj]
+        return obj
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(self._clean(event), sort_keys=True,
+                                  allow_nan=False) + "\n")
+        self.events_written += 1
+
+    def emit_many(self, events) -> int:
+        count = 0
+        for event in events:
+            self.emit(event)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# -- human-readable dumps -------------------------------------------------------------------
+def render_span_tree(source, *, min_ms: float = 0.0) -> str:
+    """Indented tree of spans with durations and attributes::
+
+        serve.ingest                          2.134ms  events=130
+          serve.commit                        0.612ms
+          serve.maintainer                    0.188ms
+    """
+    if isinstance(source, Tracer):
+        spans = list(source.roots)
+    elif isinstance(source, Span):
+        spans = [source]
+    else:
+        spans = list(source)
+    out = io.StringIO()
+    for root in spans:
+        for depth, span in root.walk():
+            if span.duration_ms < min_ms and depth > 0:
+                continue
+            label = "  " * depth + span.name
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            line = f"{label:<42s} {span.duration_ms:9.3f}ms"
+            out.write(line + (f"  {attrs}" if attrs else "") + "\n")
+    return out.getvalue()
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Aligned name/labels/value listing (terminal-friendly)."""
+    rows = []
+    for name, kind, _, series in registry.families():
+        for labels, metric in series:
+            if isinstance(metric, Histogram):
+                value = (f"count={metric.count} mean={_fmt(metric.mean)} "
+                         f"p50={_fmt(metric.p50)} p99={_fmt(metric.p99)}")
+            else:
+                value = _fmt(metric.value)
+            rows.append((f"{name}{_label_str(labels)}", value))
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}s}  {value}"
+                     for name, value in rows) + "\n"
+
+
+def span_seconds_by_name(registry: MetricsRegistry) -> dict[str, float]:
+    """Cumulative ``span_seconds_total`` as ``{span name: seconds}`` —
+    the per-stage breakdown benches report from."""
+    out: dict[str, float] = {}
+    for name, _, _, series in registry.families():
+        if name != "span_seconds_total":
+            continue
+        for labels, metric in series:
+            span = labels.get("span")
+            if span:
+                out[span] = metric.value
+    return out

@@ -1,0 +1,301 @@
+"""The metrics registry: named counters, gauges and reservoir histograms.
+
+One :class:`MetricsRegistry` is the single source of truth for a
+process's observable numbers.  Every metric belongs to a *family* (one
+name, one kind, one help string) and a family holds one *series* per
+label set, so per-shard / per-model / per-layer breakdowns are ordinary
+labeled series::
+
+    reg = MetricsRegistry()
+    reg.counter("serve_halo_bytes_total", shard="3").inc(4096)
+    reg.gauge("serve_queue_depth").set(12)
+    reg.histogram("store_replay_depth").observe(7)
+
+Metric access is get-or-create: calling ``counter(name, **labels)``
+twice returns the same object, so call sites need no setup phase.
+Components that already keep authoritative plain-int counters (the
+serving tier's ``ServerCounters``) sync them in at export time with
+:meth:`Counter.set_to` — the registry never becomes a second place to
+increment on the hot path.
+
+Naming scheme (see ``docs/observability.md``): ``<tier>_<subject>_<unit>``
+with counters ending ``_total``; tiers are ``serve``, ``shard``,
+``store``, ``train`` and ``span``.  Everything here is plain Python and
+single-threaded, like the rest of the repo's serving tier.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        amount = float(amount)
+        if amount < 0.0 or not math.isfinite(amount):
+            raise ValueError(
+                f"counters only move forward; cannot inc by {amount}")
+        self.value += amount
+
+    def set_to(self, value: float) -> None:
+        """Sync from an authoritative external counter (e.g. a
+        ``ServerCounters`` int).  The external source is monotonic, so
+        the registry value never moves backwards; syncing the same
+        value twice is a no-op."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"cannot sync counter to {value}")
+        if value > self.value:
+            self.value = value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, resident bytes)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot set a gauge to NaN")
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= float(amount)
+
+
+class Histogram:
+    """A bounded-reservoir distribution (Vitter's Algorithm R).
+
+    ``count``/``sum``/``mean`` track the *full* observation stream
+    exactly (a running counter and sum); percentiles come from a
+    fixed-size uniform sample of the stream, so memory stays bounded on
+    arbitrarily long runs.  Below ``reservoir_size`` observations the
+    reservoir holds every sample and percentiles are exact.
+
+    Non-finite observations are rejected with a :class:`ValueError`:
+    one NaN would otherwise silently poison ``mean`` (and every
+    percentile) forever.
+    """
+
+    kind = "histogram"
+    __slots__ = ("reservoir_size", "_samples", "_count", "_sum", "_rng")
+
+    def __init__(self, reservoir_size: int = 1024, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.reservoir_size = reservoir_size
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"refusing non-finite observation {value!r}: it would "
+                f"silently poison the running mean and every percentile")
+        self._count += 1
+        self._sum += value
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+            return
+        # Algorithm R: the i-th observation replaces a reservoir slot
+        # with probability reservoir_size / i (uniform slot choice)
+        slot = int(self._rng.integers(0, self._count))
+        if slot < self.reservoir_size:
+            self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        """Total observations (the full stream, not the sample)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def sampled(self) -> int:
+        """Observations currently resident in the reservoir."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over the full stream."""
+        if self._count == 0:
+            return float("nan")
+        return self._sum / self._count
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the stream (``q`` in [0, 100]); exact while
+        the stream fits the reservoir, an unbiased estimate beyond."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class _Family:
+    """One metric name: a kind, a help string, and labeled series."""
+
+    __slots__ = ("name", "kind", "help", "series")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: dict[tuple, object] = {}
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric family in a process."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- access ------------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._series(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "", *,
+                  reservoir_size: int = 1024, seed: int = 0,
+                  **labels) -> Histogram:
+        return self._series(name, "histogram", help, labels,
+                            lambda: Histogram(reservoir_size, seed))
+
+    def attach(self, name: str, metric, help: str = "", **labels):
+        """Register an externally constructed metric object (e.g. a
+        server's :class:`~repro.serve.metrics.LatencyTracker`, which IS
+        a :class:`Histogram`) so exporters see it without the owner
+        double-recording.  Re-attaching the same object is a no-op;
+        attaching a *different* object under an existing series replaces
+        it (a recovered server re-homing its trackers)."""
+        kind = getattr(metric, "kind", None)
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"cannot attach {type(metric).__name__}: "
+                             f"not a Counter/Gauge/Histogram")
+        family = self._family(name, kind, help)
+        family.series[_label_key(labels)] = metric
+        return metric
+
+    def get(self, name: str, **labels):
+        """The existing series, or ``None``."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.series.get(_label_key(labels))
+
+    def value(self, name: str, **labels) -> float:
+        """Convenience scalar read (0.0 for a missing series; a
+        histogram reads as its count)."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return float(metric.value)
+
+    def _family(self, name: str, kind: str, help: str) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            family = _Family(name, kind, help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a "
+                f"{family.kind}, not a {kind}")
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def _series(self, name: str, kind: str, help: str, labels: dict,
+                factory):
+        family = self._family(name, kind, help)
+        key = _label_key(labels)
+        metric = family.series.get(key)
+        if metric is None:
+            for label in labels:
+                if not _LABEL_RE.match(str(label)):
+                    raise ValueError(f"invalid label name {label!r}")
+            metric = factory()
+            family.series[key] = metric
+        return metric
+
+    # -- iteration / snapshot ------------------------------------------------------------
+    def families(self):
+        """Yield ``(name, kind, help, [(labels_dict, metric), ...])``
+        sorted by family name then label key."""
+        for name in sorted(self._families):
+            family = self._families[name]
+            series = [(dict(key), family.series[key])
+                      for key in sorted(family.series)]
+            yield name, family.kind, family.help, series
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of every series (JSON-friendly; histograms
+        report count/sum/mean and the standard percentiles)."""
+        out: dict = {}
+        for name, kind, help, series in self.families():
+            entries = []
+            for labels, metric in series:
+                if kind == "histogram":
+                    value = {"count": metric.count, "sum": metric.sum,
+                             "mean": metric.mean, "p50": metric.p50,
+                             "p95": metric.p95, "p99": metric.p99}
+                else:
+                    value = metric.value
+                entries.append({"labels": labels, "value": value})
+            out[name] = {"kind": kind, "help": help, "series": entries}
+        return out

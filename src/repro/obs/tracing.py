@@ -1,0 +1,189 @@
+"""Span tracing for the delta hot path.
+
+A :class:`Tracer` answers "where did this commit's milliseconds go?":
+``trace(name)`` opens a span, nested ``trace`` calls build a
+parent/child tree, and closing the root files the finished tree into a
+bounded buffer.  Spans carry wall time plus arbitrary user attributes::
+
+    with tracer.trace("serve.ingest", events=130):
+        with tracer.trace("serve.commit"):
+            ...
+
+**Disabled is the default and is (almost) free**: ``trace()`` on a
+disabled tracer returns one shared no-op span object without
+allocating, so instrumentation can live permanently on hot paths — the
+serving-bench overhead guard in CI holds this to "within noise".
+
+When the tracer is built over a :class:`~repro.obs.registry.MetricsRegistry`
+every finished span also folds into two labeled counter families —
+``span_seconds_total{span=...}`` and ``span_calls_total{span=...}`` —
+so cumulative per-stage breakdowns are readable from the same registry
+that holds the tier counters (one source of truth for benches and live
+exporters alike).
+
+Single-threaded by design, like the serving tier it instruments: one
+tracer has one active span stack.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region; closing it attaches it to its parent."""
+
+    __slots__ = ("name", "attrs", "t0", "duration_s", "children",
+                 "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.t0 = 0.0
+        self.duration_s = 0.0
+        self.children: list["Span"] = []
+
+    def set(self, **attrs) -> None:
+        """Attach/overwrite user attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.t0 = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = self._tracer.clock() - self.t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1e3
+
+    def to_dict(self) -> dict:
+        """JSON-friendly nested representation."""
+        out = {"name": self.name, "duration_ms": self.duration_ms}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def walk(self):
+        """Yield ``(depth, span)`` over the subtree, pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, {self.duration_ms:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+class _NullSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Builds span trees; a bounded deque keeps the newest roots.
+
+    Parameters
+    ----------
+    enabled:
+        Off by default — the no-op fast path.  Flip live with
+        :meth:`enable` / :meth:`disable` (an open span finishes
+        normally; only new ``trace`` calls see the switch).
+    registry:
+        Optional metrics registry receiving the cumulative
+        ``span_seconds_total`` / ``span_calls_total`` series.
+    max_roots:
+        Finished root spans retained (oldest evicted first).
+    """
+
+    def __init__(self, enabled: bool = False, *,
+                 registry=None, max_roots: int = 512,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.enabled = enabled
+        self.registry = registry
+        self.clock = clock
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self._stack: list[Span] = []
+
+    def trace(self, name: str, **attrs):
+        """Open a span (use as a context manager).  Disabled tracers
+        return the shared :data:`NULL_SPAN` without allocating."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop finished roots (the active stack is left alone)."""
+        self.roots.clear()
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span (``None`` outside any trace)."""
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span, if any —
+        lets helpers deep in the call tree enrich their caller's span
+        without threading the span object through."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    # -- span lifecycle (driven by Span.__enter__/__exit__) ----------------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate a mismatched pop (an abandoned span mid-stack) by
+        # unwinding to it — never corrupt the stack on caller bugs
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        if self.registry is not None:
+            self.registry.counter(
+                "span_seconds_total",
+                "Cumulative wall seconds per span name",
+                span=span.name).inc(span.duration_s)
+            self.registry.counter(
+                "span_calls_total",
+                "Completed spans per span name",
+                span=span.name).inc()

@@ -50,6 +50,7 @@ from repro.models.base import DynamicGNN
 from repro.models.cdgcn import CDGCN
 from repro.models.evolvegcn import EvolveGCN
 from repro.models.tmgcn import TMGCN
+from repro.obs import Telemetry
 from repro.serve.cache import EmbeddingCache
 
 __all__ = ["InferenceEngine", "derive_serving_features"]
@@ -113,12 +114,16 @@ class InferenceEngine:
                  features: np.ndarray | None = None,
                  dinv: np.ndarray | None = None,
                  cache_max_rows: int | None = None,
-                 maintainer: LaplacianMaintainer | None = None) -> None:
+                 maintainer: LaplacianMaintainer | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         if model.in_features != 2:
             raise ConfigError(
                 "serving computes in/out-degree features from the event "
                 f"stream (F=2); model expects F={model.in_features}")
         self.model = model
+        # spans flow into the owning server's telemetry when injected;
+        # the default is a private, tracing-off (no-op) instance
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.kind = self._detect_kind(model)
         self.layers = self._extract_layers(model)
         self.cache = EmbeddingCache(snapshot.num_vertices,
@@ -253,10 +258,12 @@ class InferenceEngine:
         self._resident = snapshot
         # the normalized operator follows the graph: incrementally when
         # the caller supplies the GD delta, by full rebuild otherwise
-        if self._maintainer is None:
-            self._maintainer = LaplacianMaintainer(snapshot)
-        else:
-            self._maintainer.update(snapshot, diff)
+        with self.telemetry.trace("serve.maintainer",
+                                  incremental=diff is not None):
+            if self._maintainer is None:
+                self._maintainer = LaplacianMaintainer(snapshot)
+            else:
+                self._maintainer.update(snapshot, diff)
         # degree features follow the graph (``dinv`` is accepted so a
         # router's one-shot derivation fans out unchanged; the engine
         # itself reads normalization from the maintainer)

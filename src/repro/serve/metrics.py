@@ -4,18 +4,27 @@ The counters mirror what a production inference tier exports: request
 throughput, per-request latency percentiles, the ingest rate, and the
 cache economics of the incremental engine (rows recomputed vs rows
 served from the embedding cache).
+
+Since the unified observability layer (:mod:`repro.obs`) landed, this
+module is a thin serving-flavored veneer over it:
+:class:`LatencyTracker` *is* an :class:`repro.obs.registry.Histogram`
+(same bounded reservoir, same exact count/mean), kept as a named alias
+because "latency" is the serving tier's vocabulary and because servers
+attach it into their metrics registry so the exporters see one source
+of truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
-import numpy as np
+from repro.obs.registry import Histogram
 
 __all__ = ["LatencyTracker", "ServerCounters", "ServerStats"]
 
 
-class LatencyTracker:
+class LatencyTracker(Histogram):
     """Collects per-request latencies and reports percentiles.
 
     Samples live in a **fixed-size reservoir** (Vitter's Algorithm R
@@ -27,67 +36,17 @@ class LatencyTracker:
     the whole stream.  ``count`` and ``mean`` track the *full* stream
     exactly (a running counter and sum), only the percentile estimates
     come from the reservoir.
+
+    Non-finite latencies are rejected with a :class:`ValueError` — one
+    NaN would silently poison the running mean (and every percentile)
+    for the rest of the server's life.
     """
 
     def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
-        if reservoir_size < 1:
-            raise ValueError(
-                f"reservoir_size must be >= 1, got {reservoir_size}")
-        self.reservoir_size = reservoir_size
-        self._samples: list[float] = []
-        self._count = 0
-        self._sum = 0.0
-        self._rng = np.random.default_rng(seed)
+        super().__init__(reservoir_size, seed)
 
     def record(self, latency_ms: float) -> None:
-        latency_ms = float(latency_ms)
-        self._count += 1
-        self._sum += latency_ms
-        if len(self._samples) < self.reservoir_size:
-            self._samples.append(latency_ms)
-            return
-        # Algorithm R: the i-th record replaces a reservoir slot with
-        # probability reservoir_size / i (uniform slot choice)
-        slot = int(self._rng.integers(0, self._count))
-        if slot < self.reservoir_size:
-            self._samples[slot] = latency_ms
-
-    @property
-    def count(self) -> int:
-        """Total latencies recorded (the full stream, not the sample)."""
-        return self._count
-
-    @property
-    def sampled(self) -> int:
-        """Latencies currently resident in the reservoir."""
-        return len(self._samples)
-
-    def percentile(self, q: float) -> float:
-        """Latency percentile in milliseconds (``q`` in [0, 100]);
-        exact while the stream fits the reservoir, an unbiased
-        reservoir estimate beyond it."""
-        if not self._samples:
-            return float("nan")
-        return float(np.percentile(np.asarray(self._samples), q))
-
-    @property
-    def p50(self) -> float:
-        return self.percentile(50.0)
-
-    @property
-    def p95(self) -> float:
-        return self.percentile(95.0)
-
-    @property
-    def p99(self) -> float:
-        return self.percentile(99.0)
-
-    @property
-    def mean(self) -> float:
-        """Exact mean over the full stream."""
-        if self._count == 0:
-            return float("nan")
-        return self._sum / self._count
+        self.observe(latency_ms)
 
 
 @dataclass
@@ -119,7 +78,12 @@ class ServerCounters:
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Point-in-time snapshot of a server's observable state."""
+    """Point-in-time snapshot of a server's observable state.
+
+    The counters really are a snapshot: construction copies the
+    (mutable) :class:`ServerCounters` it is handed, so traffic served
+    after ``stats()`` never mutates an already-taken stats object.
+    """
 
     counters: ServerCounters
     latency_p50_ms: float
@@ -127,6 +91,11 @@ class ServerStats:
     latency_p99_ms: float
     latency_mean_ms: float
     elapsed_s: float
+
+    def __post_init__(self) -> None:
+        # defensive copy no matter which call site built us — a live
+        # reference here would falsify every later read of the snapshot
+        object.__setattr__(self, "counters", replace(self.counters))
 
     @property
     def queries_per_second(self) -> float:
@@ -136,11 +105,10 @@ class ServerStats:
 
     def row(self) -> tuple:
         """Report row for the bench reporting pipeline."""
+        hit_rate = self.counters.cache_hit_rate
         return (self.counters.queries_completed,
                 round(self.queries_per_second, 1),
                 round(self.latency_p50_ms, 3),
                 round(self.latency_p95_ms, 3),
                 round(self.latency_p99_ms, 3),
-                round(self.counters.cache_hit_rate, 3)
-                if self.counters.cache_hit_rate == self.counters.cache_hit_rate
-                else None)
+                None if math.isnan(hit_rate) else round(hit_rate, 3))

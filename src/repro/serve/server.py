@@ -18,6 +18,7 @@ can drive latency accounting deterministically.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable
@@ -28,6 +29,7 @@ from repro.errors import ConfigError, StoreError
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.nn.linear import EdgeScorer, Linear
+from repro.obs import Telemetry
 from repro.serve.cache import EmbeddingCache
 from repro.serve.engine import InferenceEngine
 from repro.serve.ingest import EdgeEvent, StreamIngestor
@@ -105,7 +107,8 @@ class QueryFrontend:
     """
 
     def _init_frontend(self, max_batch_size: int, flush_latency_ms: float,
-                       clock: Callable[[], float]) -> None:
+                       clock: Callable[[], float],
+                       telemetry: Telemetry | None = None) -> None:
         if max_batch_size < 1:
             raise ConfigError("max_batch_size must be >= 1")
         if flush_latency_ms < 0:
@@ -113,7 +116,13 @@ class QueryFrontend:
         self.max_batch_size = max_batch_size
         self.flush_latency_ms = flush_latency_ms
         self.clock = clock
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.latency = LatencyTracker()
+        # the latency reservoir IS the exported histogram — attaching it
+        # keeps one source of truth between stats() and the exporters
+        self.telemetry.registry.attach(
+            "serve_latency_ms", self.latency,
+            "Per-request latency (bounded reservoir)")
         self._queue: list[PendingQuery] = []
         self._started_at: float | None = None
         self.store = None            # attached GraphStore (durability)
@@ -179,6 +188,54 @@ class QueryFrontend:
             total += self.flush()
         return total
 
+    # -- observability export (shared by both serving tiers) ---------------------------
+    def _collect_metrics(self) -> None:
+        """Sync the authoritative plain-int counters into the metrics
+        registry.  Runs at export time, never on the hot path — the
+        registry mirrors, it does not double-count."""
+        import dataclasses
+        reg = self.telemetry.registry
+        for field in dataclasses.fields(self.counters):
+            reg.counter(f"serve_{field.name}_total").set_to(
+                getattr(self.counters, field.name))
+        reg.gauge("serve_queue_depth",
+                  "Pending queries awaiting a flush").set(len(self._queue))
+        self._collect_tier_metrics(reg)
+        if self.store is not None:
+            self.store.collect_metrics(reg)
+
+    def _collect_tier_metrics(self, reg) -> None:
+        """Tier-specific registry sync (engine, maintainer, shards)."""
+
+    @staticmethod
+    def _collect_maintainer(reg, maintainer) -> None:
+        if maintainer is None:
+            return
+        reg.counter("serve_maintainer_updates_total").set_to(
+            maintainer.updates)
+        reg.counter("serve_maintainer_incremental_total").set_to(
+            maintainer.incremental_updates)
+        reg.counter("serve_maintainer_full_rebuilds_total").set_to(
+            maintainer.full_rebuilds)
+        reg.counter("serve_maintainer_fallbacks_total").set_to(
+            maintainer.fallbacks)
+
+    def prometheus(self) -> str:
+        """Live Prometheus text exposition (counters synced first)."""
+        self._collect_metrics()
+        return self.telemetry.prometheus()
+
+    def export_jsonl(self, target, *, spans: bool = True) -> int:
+        """Write the synced metrics (and retained span trees) as JSONL
+        events; returns the number of events written."""
+        self._collect_metrics()
+        return self.telemetry.export_jsonl(target, spans=spans)
+
+    def span_tree(self, *, min_ms: float = 0.0) -> str:
+        """Human-readable dump of the retained span trees (empty unless
+        the telemetry was built with ``tracing=True``)."""
+        return self.telemetry.span_tree(min_ms=min_ms)
+
     # -- durability plumbing (shared by ModelServer and ShardedServer) -----------
     def attach_store(self, store, *, state_interval: int = 1,
                      capture: bool = True) -> None:
@@ -207,6 +264,10 @@ class QueryFrontend:
                 "store tip does not match the resident snapshot; "
                 "recover() from the store instead of attaching it")
         self.store = store
+        # the store reports through the server's telemetry from now on:
+        # its spans nest under the serving spans and its counters land
+        # in the same registry the server exports
+        store.telemetry = self.telemetry
         self._store_state_interval = max(1, int(state_interval))
         if capture:
             self._capture_store_state()
@@ -269,6 +330,7 @@ class QueryFrontend:
         ingest/advance paths (with logging suspended), then re-attach
         the store and capture the recovered state."""
         self.store = store
+        store.telemetry = self.telemetry
         self._store_state_interval = max(1, int(state_interval))
         self._store_replaying = True
         try:
@@ -326,11 +388,14 @@ class ModelServer(QueryFrontend):
                  k_hops: int | None = None,
                  incremental: bool = True,
                  cache_max_rows: int | None = None,
+                 telemetry: Telemetry | None = None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
-        self._init_frontend(max_batch_size, flush_latency_ms, clock)
+        self._init_frontend(max_batch_size, flush_latency_ms, clock,
+                            telemetry)
         self.model = model
         self.engine = InferenceEngine(model, snapshot, k_hops=k_hops,
-                                      cache_max_rows=cache_max_rows)
+                                      cache_max_rows=cache_max_rows,
+                                      telemetry=self.telemetry)
         self.ingestor = StreamIngestor(snapshot)
         self.link_head = link_head
         self.fraud_head = fraud_head
@@ -387,6 +452,20 @@ class ModelServer(QueryFrontend):
     def num_vertices(self) -> int:
         return self.engine.num_vertices
 
+    def _collect_tier_metrics(self, reg) -> None:
+        self._collect_maintainer(reg, self.engine.maintainer)
+        reg.counter("serve_engine_steps_total",
+                    "Timestep boundaries the engine crossed").set_to(
+            self.engine.steps)
+        reg.gauge("serve_cache_dirty_rows",
+                  "Rows invalidated and awaiting recompute").set(
+            self.cache.num_dirty)
+        hit_rate = self.counters.cache_hit_rate
+        if not math.isnan(hit_rate):
+            reg.gauge("serve_cache_hit_rate",
+                      "Fraction of rows served from the embedding "
+                      "cache").set(hit_rate)
+
     def stats(self) -> ServerStats:
         now = self.clock()
         elapsed = (now - self._started_at) if self._started_at is not None \
@@ -410,20 +489,23 @@ class ModelServer(QueryFrontend):
         next flush so event bursts coalesce into one partial recompute.
         """
         events = list(events)
-        self._store_log_events(events)
-        count = self.ingestor.push_batch(events)
-        result = self.ingestor.commit()
-        self.counters.events_ingested += result.num_events
-        self.counters.commits += 1
-        if self.incremental:
-            # the GD delta rides along so the engine's Ã maintainer
-            # applies it incrementally instead of rebuilding
-            self.engine.set_snapshot(result.snapshot, seeds=result.dirty,
-                                     diff=result.diff)
-        else:
-            # the full-recompute baseline keeps the pre-kernel cost
-            # profile: no delta, full operator rebuild
-            self.engine.set_snapshot(result.snapshot, seeds=None)
+        with self.telemetry.trace("serve.ingest", events=len(events)):
+            self._store_log_events(events)
+            with self.telemetry.trace("serve.commit"):
+                count = self.ingestor.push_batch(events)
+                result = self.ingestor.commit()
+            self.counters.events_ingested += result.num_events
+            self.counters.commits += 1
+            if self.incremental:
+                # the GD delta rides along so the engine's Ã maintainer
+                # applies it incrementally instead of rebuilding
+                self.engine.set_snapshot(result.snapshot,
+                                         seeds=result.dirty,
+                                         diff=result.diff)
+            else:
+                # the full-recompute baseline keeps the pre-kernel cost
+                # profile: no delta, full operator rebuild
+                self.engine.set_snapshot(result.snapshot, seeds=None)
         return count
 
     def advance_time(self, snapshot: GraphSnapshot | None = None, *,
@@ -437,15 +519,17 @@ class ModelServer(QueryFrontend):
         ``snapshot`` — with it the engine's Ã maintainer advances
         incrementally instead of rebuilding (recovery replay passes the
         store-decoded delta here)."""
-        self._store_log_boundary(snapshot)
-        self.engine.advance(snapshot, diff=diff if self.incremental
-                            else None)
-        if snapshot is not None:
-            self.ingestor.rebase(snapshot)
-        self.counters.advances += 1
-        self.counters.rows_advanced += self.engine.num_vertices
-        self._evict()
-        self._store_maybe_capture()
+        with self.telemetry.trace("serve.advance",
+                                  rebase=snapshot is not None):
+            self._store_log_boundary(snapshot)
+            self.engine.advance(snapshot, diff=diff if self.incremental
+                                else None)
+            if snapshot is not None:
+                self.ingestor.rebase(snapshot)
+            self.counters.advances += 1
+            self.counters.rows_advanced += self.engine.num_vertices
+            self._evict()
+            self._store_maybe_capture()
 
     # -- queries ----------------------------------------------------------------------
     def flush(self) -> int:
@@ -454,30 +538,34 @@ class ModelServer(QueryFrontend):
             return 0
         batch, self._queue = self._queue[:self.max_batch_size], \
             self._queue[self.max_batch_size:]
-        touched = {v for q in batch for v in
-                   (q.payload if q.kind == "link" else q.payload[:1])}
-        self.cache.touch(np.fromiter(touched, dtype=np.int64,
-                                     count=len(touched)))
-        self._refresh()
-        z = self.engine.embeddings
-        links = [(i, q) for i, q in enumerate(batch) if q.kind == "link"]
-        frauds = [(i, q) for i, q in enumerate(batch) if q.kind == "fraud"]
-        now = self.clock()
-        if links:
-            pairs = np.array([q.payload for _, q in links], dtype=np.int64)
-            scores = self._score_links(z, pairs)
-            for (_, q), s in zip(links, scores):
-                q._resolve(s, now)
-        if frauds:
-            accounts = np.array([q.payload[0] for _, q in frauds],
-                                dtype=np.int64)
-            scores = self._score_fraud(z, accounts)
-            for (_, q), s in zip(frauds, scores):
-                q._resolve(s, now)
-        for q in batch:
-            self.latency.record(q.latency_ms)
-        self.counters.queries_completed += len(batch)
-        self.counters.batches_flushed += 1
+        with self.telemetry.trace("serve.query", batch=len(batch)):
+            touched = {v for q in batch for v in
+                       (q.payload if q.kind == "link" else q.payload[:1])}
+            self.cache.touch(np.fromiter(touched, dtype=np.int64,
+                                         count=len(touched)))
+            self._refresh()
+            z = self.engine.embeddings
+            links = [(i, q) for i, q in enumerate(batch)
+                     if q.kind == "link"]
+            frauds = [(i, q) for i, q in enumerate(batch)
+                      if q.kind == "fraud"]
+            now = self.clock()
+            if links:
+                pairs = np.array([q.payload for _, q in links],
+                                 dtype=np.int64)
+                scores = self._score_links(z, pairs)
+                for (_, q), s in zip(links, scores):
+                    q._resolve(s, now)
+            if frauds:
+                accounts = np.array([q.payload[0] for _, q in frauds],
+                                    dtype=np.int64)
+                scores = self._score_fraud(z, accounts)
+                for (_, q), s in zip(frauds, scores):
+                    q._resolve(s, now)
+            for q in batch:
+                self.latency.record(q.latency_ms)
+            self.counters.queries_completed += len(batch)
+            self.counters.batches_flushed += 1
         if self._queue:  # drained in max_batch_size chunks
             return len(batch) + self.flush()
         return len(batch)
@@ -490,7 +578,9 @@ class ModelServer(QueryFrontend):
             return
         if not self.incremental:
             cache.invalidate_all()
-        recomputed = self.engine.refresh()
+        with self.telemetry.trace("serve.refresh") as span:
+            recomputed = self.engine.refresh()
+            span.set(rows=recomputed)
         self.counters.refreshes += 1
         self.counters.rows_recomputed += recomputed
         self.counters.rows_served_from_cache += \

@@ -24,7 +24,8 @@ sets so halo *pressure* stays observable for every model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -36,13 +37,25 @@ __all__ = ["HaloExchange", "HaloTraffic"]
 
 @dataclass
 class HaloTraffic:
-    """Monotonic counters of cross-shard state movement."""
+    """Monotonic counters of cross-shard state movement.
+
+    ``bytes_per_shard`` / ``rows_per_shard`` break the aggregate down by
+    *importing* shard — the per-shard halo pressure the observability
+    layer exports as labeled ``shard_halo_*`` series.
+    """
 
     boundary_syncs: int = 0        # bulk syncs at timestep boundaries
     entrant_syncs: int = 0         # mid-step halo-growth syncs
     rows_shipped: int = 0          # temporal-state rows moved owner→ghost
     bytes_shipped: int = 0         # payload bytes of those rows
     messages: int = 0              # owner→ghost-shard transfers
+    bytes_per_shard: dict = field(default_factory=lambda: defaultdict(int))
+    rows_per_shard: dict = field(default_factory=lambda: defaultdict(int))
+
+    def copy(self) -> "HaloTraffic":
+        """Deep point-in-time copy (the per-shard dicts are mutable)."""
+        return replace(self, bytes_per_shard=dict(self.bytes_per_shard),
+                       rows_per_shard=dict(self.rows_per_shard))
 
 
 class HaloExchange:
@@ -69,6 +82,8 @@ class HaloExchange:
             self.traffic.rows_shipped += len(chunk)
             self.traffic.bytes_shipped += nbytes
             self.traffic.messages += 1
+            self.traffic.rows_per_shard[target] += len(chunk)
+            self.traffic.bytes_per_shard[target] += nbytes
 
     def sync_halos(self, shards: list[ReplicaSet]) -> None:
         """Bulk boundary sync: every shard imports its whole ghost set.

@@ -46,6 +46,7 @@ from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.nn.linear import EdgeScorer, Linear
+from repro.obs import Telemetry
 from repro.serve.cache import expand_dirty
 from repro.serve.engine import derive_serving_features
 from repro.serve.ingest import EdgeEvent, StreamIngestor
@@ -84,7 +85,10 @@ class ShardedCounters:
 
 @dataclass(frozen=True)
 class ShardedStats:
-    """Point-in-time view of the sharded tier."""
+    """Point-in-time view of the sharded tier.
+
+    Construction copies the mutable counters and halo traffic, so later
+    traffic never mutates an already-taken stats object."""
 
     counters: ShardedCounters
     traffic: HaloTraffic
@@ -98,6 +102,10 @@ class ShardedStats:
     latency_p99_ms: float
     latency_mean_ms: float
     elapsed_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counters", replace(self.counters))
+        object.__setattr__(self, "traffic", self.traffic.copy())
 
     @property
     def load_skew(self) -> float:
@@ -142,6 +150,7 @@ class ShardedServer(QueryFrontend):
                  k_hops: int | None = None,
                  rebalance_skew: float | None = None,
                  rebalance_min_queries: int = 256,
+                 telemetry: Telemetry | None = None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         if plan is None:
             if num_shards is None:
@@ -151,7 +160,8 @@ class ShardedServer(QueryFrontend):
             raise ConfigError("shard plan does not cover the vertex set")
         if replicas < 1:
             raise ConfigError("replicas must be >= 1")
-        self._init_frontend(max_batch_size, flush_latency_ms, clock)
+        self._init_frontend(max_batch_size, flush_latency_ms, clock,
+                            telemetry)
         self.model = model
         self.plan = plan
         self.replicas = replicas
@@ -261,6 +271,50 @@ class ShardedServer(QueryFrontend):
         """Primary replica of ``shard`` (tests and state gathers)."""
         return self.shards[shard].primary
 
+    def _collect_tier_metrics(self, reg) -> None:
+        self._collect_maintainer(reg, self.maintainer)
+        reg.gauge("shard_count", "Shards in the tier").set(self.num_shards)
+        reg.gauge("shard_replicas", "Replicas per shard").set(self.replicas)
+        reg.gauge("shard_load_skew",
+                  "max/mean per-shard query load").set(self.observed_skew())
+        reg.gauge("serve_router_busy_seconds",
+                  "Router busy clock").set(self.router_busy_s)
+        for s in range(self.num_shards):
+            label = str(s)
+            reg.counter("shard_queries_total",
+                        "Queries routed to each shard",
+                        shard=label).set_to(int(self._per_shard_queries[s]))
+            rs = self.shards[s]
+            reg.gauge("shard_busy_seconds",
+                      "Per-worker busy clock (slowest replica bounds the "
+                      "simulated wall time)", shard=label).set(
+                max(w.busy_s for w in rs.workers))
+            reg.counter("shard_rows_recomputed_total",
+                        "Rows recomputed by each shard's workers",
+                        shard=label).set_to(
+                sum(w.rows_recomputed for w in rs.workers))
+            reg.counter("shard_deltas_applied_total",
+                        "Event deltas folded into each shard's mirror",
+                        shard=label).set_to(
+                sum(w.deltas_applied for w in rs.workers))
+        traffic = self.exchange.traffic
+        reg.counter("shard_halo_boundary_syncs_total").set_to(
+            traffic.boundary_syncs)
+        reg.counter("shard_halo_entrant_syncs_total").set_to(
+            traffic.entrant_syncs)
+        reg.counter("shard_halo_messages_total").set_to(traffic.messages)
+        reg.counter("shard_halo_rows_total",
+                    "Temporal-state rows shipped owner to ghost").set_to(
+            traffic.rows_shipped)
+        reg.counter("shard_halo_bytes_total",
+                    "Halo payload bytes shipped owner to ghost").set_to(
+            traffic.bytes_shipped)
+        for s, nbytes in sorted(traffic.bytes_per_shard.items()):
+            reg.counter("shard_halo_bytes_total", shard=str(s)).set_to(
+                nbytes)
+        for s, rows in sorted(traffic.rows_per_shard.items()):
+            reg.counter("shard_halo_rows_total", shard=str(s)).set_to(rows)
+
     def gathered_embeddings(self) -> np.ndarray:
         """Full embedding matrix assembled from each shard's owned rows
         (each shard is authoritative for its block only).  Shards
@@ -279,8 +333,8 @@ class ShardedServer(QueryFrontend):
         elapsed = (now - self._started_at) if self._started_at is not None \
             else 0.0
         return ShardedStats(
-            counters=replace(self.counters),
-            traffic=replace(self.exchange.traffic),
+            counters=self.counters,      # __post_init__ snapshots these
+            traffic=self.exchange.traffic,
             num_shards=self.num_shards,
             replicas=self.replicas,
             per_shard_queries=tuple(int(q) for q in
@@ -307,34 +361,41 @@ class ShardedServer(QueryFrontend):
         router work and are timed.
         """
         events = list(events)
-        self._store_log_events(events)  # WAL before acknowledgment
-        count = self.ingestor.push_batch(events)
-        result = self.ingestor.commit()
-        t0 = self.clock()
-        snap = result.snapshot
-        self.maintainer.update(snap, result.diff)
-        features, dinv = derive_serving_features(snap)
-        dirty = expand_dirty(snap, result.dirty, self.k_hops)
-        subs = split_diff_by_blocks(result.diff, snap, self.plan.owner,
-                                    self.plan.num_shards)
-        self.counters.delta_bytes_fanout += sum(d.payload_nbytes
-                                                for d in subs)
-        for edges in (result.diff.added, result.diff.removed):
-            if len(edges):
-                self.counters.cross_shard_events += int(
-                    (self.plan.owner[edges[:, 0]]
-                     != self.plan.owner[edges[:, 1]]).sum())
-        self.router_busy_s += self.clock() - t0
-        entrants = []
-        for s, rs in enumerate(self.shards):
-            entrants.append(rs.apply_delta(snap, features, dinv, dirty,
-                                           diff=result.diff))
-            covered = rs.primary.engine.restrict_to_coverage(dirty)
-            self.counters.halo_dirty_rows += int(
-                (self.plan.owner[covered] != s).sum())
-        self.exchange.sync_entrants(self.shards, entrants)
-        self.counters.events_ingested += result.num_events
-        self.counters.commits += 1
+        with self.telemetry.trace("serve.ingest", events=len(events)):
+            self._store_log_events(events)  # WAL before acknowledgment
+            with self.telemetry.trace("serve.commit"):
+                count = self.ingestor.push_batch(events)
+                result = self.ingestor.commit()
+            t0 = self.clock()
+            snap = result.snapshot
+            with self.telemetry.trace("serve.maintainer", incremental=True):
+                self.maintainer.update(snap, result.diff)
+            features, dinv = derive_serving_features(snap)
+            dirty = expand_dirty(snap, result.dirty, self.k_hops)
+            subs = split_diff_by_blocks(result.diff, snap, self.plan.owner,
+                                        self.plan.num_shards)
+            self.counters.delta_bytes_fanout += sum(d.payload_nbytes
+                                                    for d in subs)
+            for edges in (result.diff.added, result.diff.removed):
+                if len(edges):
+                    self.counters.cross_shard_events += int(
+                        (self.plan.owner[edges[:, 0]]
+                         != self.plan.owner[edges[:, 1]]).sum())
+            self.router_busy_s += self.clock() - t0
+            entrants = []
+            with self.telemetry.trace("serve.fanout",
+                                      shards=self.num_shards):
+                for s, rs in enumerate(self.shards):
+                    entrants.append(rs.apply_delta(snap, features, dinv,
+                                                   dirty,
+                                                   diff=result.diff))
+                    covered = rs.primary.engine.restrict_to_coverage(dirty)
+                    self.counters.halo_dirty_rows += int(
+                        (self.plan.owner[covered] != s).sum())
+            with self.telemetry.trace("serve.halo_sync", kind="entrants"):
+                self.exchange.sync_entrants(self.shards, entrants)
+            self.counters.events_ingested += result.num_events
+            self.counters.commits += 1
         return count
 
     def advance_time(self, snapshot: GraphSnapshot | None = None, *,
@@ -355,26 +416,32 @@ class ShardedServer(QueryFrontend):
         self._store_maybe_capture()
 
     def _advance(self, diff=None) -> None:
-        snap = self.ingestor.resident
-        t0 = self.clock()
-        # a no-op unless advance_time rebased the resident wholesale —
-        # incremental when the rebase delta is in hand, a single full
-        # rebuild otherwise
-        self.maintainer.update(snap, diff)
-        features, dinv = derive_serving_features(snap)
-        self.router_busy_s += self.clock() - t0
-        for rs in self.shards:
-            rs.begin_advance(snap, features, dinv)
-        if self.num_shards > 1:
-            self.exchange.sync_halos(self.shards)
-        before = sum(w.rows_advanced for rs in self.shards
-                     for w in rs.workers)
-        for rs in self.shards:
-            rs.finish_advance()
-        after = sum(w.rows_advanced for rs in self.shards
-                    for w in rs.workers)
-        self.counters.rows_advanced += after - before
-        self.counters.advances += 1
+        with self.telemetry.trace("serve.advance",
+                                  rebase=diff is not None):
+            snap = self.ingestor.resident
+            t0 = self.clock()
+            # a no-op unless advance_time rebased the resident wholesale —
+            # incremental when the rebase delta is in hand, a single full
+            # rebuild otherwise
+            with self.telemetry.trace("serve.maintainer",
+                                      incremental=diff is not None):
+                self.maintainer.update(snap, diff)
+            features, dinv = derive_serving_features(snap)
+            self.router_busy_s += self.clock() - t0
+            for rs in self.shards:
+                rs.begin_advance(snap, features, dinv)
+            if self.num_shards > 1:
+                with self.telemetry.trace("serve.halo_sync",
+                                          kind="boundary"):
+                    self.exchange.sync_halos(self.shards)
+            before = sum(w.rows_advanced for rs in self.shards
+                         for w in rs.workers)
+            for rs in self.shards:
+                rs.finish_advance()
+            after = sum(w.rows_advanced for rs in self.shards
+                        for w in rs.workers)
+            self.counters.rows_advanced += after - before
+            self.counters.advances += 1
 
     # -- queries ----------------------------------------------------------------------
     def flush(self) -> int:
@@ -383,6 +450,15 @@ class ShardedServer(QueryFrontend):
             return 0
         batch, self._queue = self._queue[:self.max_batch_size], \
             self._queue[self.max_batch_size:]
+        with self.telemetry.trace("serve.query", batch=len(batch)):
+            self._answer_batch(batch)
+        if self._queue:
+            return len(batch) + self.flush()
+        return len(batch)
+
+    def _answer_batch(self, batch: list) -> None:
+        """Route one micro-batch to its owner shards and resolve every
+        query in it."""
         link_by_shard: dict[int, list] = {}
         fraud_by_shard: dict[int, list] = {}
         needed = set()
@@ -408,7 +484,9 @@ class ShardedServer(QueryFrontend):
         serving: dict[int, ShardWorker] = {}
         for s in sorted(needed):
             w = self.shards[s].least_loaded()
-            recomputed = w.refresh()
+            with self.telemetry.trace("serve.refresh", shard=s) as span:
+                recomputed = w.refresh()
+                span.set(rows=recomputed)
             if recomputed:
                 self.counters.refreshes += 1
                 self.counters.rows_recomputed += recomputed
@@ -433,9 +511,6 @@ class ShardedServer(QueryFrontend):
             self.latency.record(q.latency_ms)
         self.counters.queries_completed += len(batch)
         self.counters.batches_flushed += 1
-        if self._queue:
-            return len(batch) + self.flush()
-        return len(batch)
 
     def _gather_rows(self, rows: np.ndarray,
                      serving: dict[int, ShardWorker],

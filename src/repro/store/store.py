@@ -38,6 +38,8 @@ from repro.errors import StoreError
 from repro.graph.diff import SnapshotDiff, apply_diff, diff_snapshots
 from repro.graph.dtdg import DTDG, validate_feature_frames
 from repro.graph.snapshot import GraphSnapshot
+from repro.obs import Telemetry
+from repro.obs.registry import Histogram
 from repro.store import codec
 from repro.store.compact import Compactor, list_bases, load_base
 from repro.store.wal import (KIND_DIFF, KIND_EVENTS, KIND_FEATURES,
@@ -64,8 +66,15 @@ class GraphStore:
     """
 
     def __init__(self, path: str, *, _meta: dict | None = None,
-                 sync: bool = False) -> None:
+                 sync: bool = False,
+                 telemetry: Telemetry | None = None) -> None:
         self.path = path
+        # a serving tier that attaches this store rebinds ``telemetry``
+        # to its own, so store spans nest under serving spans and store
+        # counters export from one registry; standalone stores keep this
+        # private tracing-off default
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.replay_depth = Histogram(reservoir_size=1024, seed=0)
         creating = _meta is not None
         wal_path = os.path.join(path, WAL_NAME)
         if creating:
@@ -99,8 +108,8 @@ class GraphStore:
     # -- construction -------------------------------------------------------------------
     @classmethod
     def create(cls, path: str, num_vertices: int, *, name: str = "store",
-               base_interval: int | None = 8,
-               sync: bool = False) -> "GraphStore":
+               base_interval: int | None = 8, sync: bool = False,
+               telemetry: Telemetry | None = None) -> "GraphStore":
         """Initialize an empty store (zero sealed timesteps)."""
         if num_vertices <= 0:
             raise StoreError(f"num_vertices must be positive, got "
@@ -108,12 +117,13 @@ class GraphStore:
         meta = {"kind": "meta", "num_vertices": int(num_vertices),
                 "name": name, "base_interval": base_interval,
                 "version": 1}
-        return cls(path, _meta=meta, sync=sync)
+        return cls(path, _meta=meta, sync=sync, telemetry=telemetry)
 
     @classmethod
-    def open(cls, path: str, *, sync: bool = False) -> "GraphStore":
+    def open(cls, path: str, *, sync: bool = False,
+             telemetry: Telemetry | None = None) -> "GraphStore":
         """Open an existing store, tolerating a torn WAL tail."""
-        return cls(path, sync=sync)
+        return cls(path, sync=sync, telemetry=telemetry)
 
     @classmethod
     def from_dtdg(cls, path: str, dtdg: DTDG, *,
@@ -187,14 +197,15 @@ class GraphStore:
 
     def append_diff(self, diff: SnapshotDiff) -> GraphSnapshot:
         """Seal the next timestep by applying ``diff`` to the live tip."""
-        step = len(self._seals)
-        payload = codec.encode_diff(self._tip, diff, step)
-        curr = apply_diff(self._tip, diff)
-        idx = self.wal.append(KIND_DIFF, payload)
-        self._seals.append(idx)
-        self._events_since_seal = 0
-        self._tip = curr
-        self.compactor.maybe_compact(step)
+        with self.telemetry.trace("store.append", kind="diff"):
+            step = len(self._seals)
+            payload = codec.encode_diff(self._tip, diff, step)
+            curr = apply_diff(self._tip, diff)
+            idx = self.wal.append(KIND_DIFF, payload)
+            self._seals.append(idx)
+            self._events_since_seal = 0
+            self._tip = curr
+            self.compactor.maybe_compact(step)
         return curr
 
     def append_events(self, events: Iterable) -> int:
@@ -202,23 +213,26 @@ class GraphStore:
         the WAL record index.  The fold is validated before the bytes
         are committed, so a bad batch never lands in the log."""
         events = list(events)
-        new_tip = codec.fold_events(self._tip, events)
-        idx = self.wal.append(KIND_EVENTS, codec.encode_events(events))
-        self._tip = new_tip
-        self._events_since_seal += 1
+        with self.telemetry.trace("store.append", kind="events",
+                                  events=len(events)):
+            new_tip = codec.fold_events(self._tip, events)
+            idx = self.wal.append(KIND_EVENTS, codec.encode_events(events))
+            self._tip = new_tip
+            self._events_since_seal += 1
         return idx
 
     def seal_step(self) -> int:
         """Close the current timestep without a topology rebase (the
         serving tier's plain ``advance_time()``); returns the step."""
-        step = len(self._seals)
-        payload = codec.pack_record(
-            {"kind": "seal", "step": step,
-             "result_checksum": codec.edge_checksum(self._tip)}, {})
-        idx = self.wal.append(KIND_SEAL, payload)
-        self._seals.append(idx)
-        self._events_since_seal = 0
-        self.compactor.maybe_compact(step)
+        with self.telemetry.trace("store.append", kind="seal"):
+            step = len(self._seals)
+            payload = codec.pack_record(
+                {"kind": "seal", "step": step,
+                 "result_checksum": codec.edge_checksum(self._tip)}, {})
+            idx = self.wal.append(KIND_SEAL, payload)
+            self._seals.append(idx)
+            self._events_since_seal = 0
+            self.compactor.maybe_compact(step)
         return step
 
     def append_features(self, frame: np.ndarray) -> int:
@@ -273,20 +287,26 @@ class GraphStore:
             break
         if state is None:
             state = _empty_snapshot(self.num_vertices)
+        depth = 0
         for record in self.wal.scan_from(base_idx + 1, idx + 1):
             if record.kind == KIND_DIFF:
                 _, state, _ = codec.decode_diff(record.payload, state)
                 self.records_replayed += 1
+                depth += 1
             elif record.kind == KIND_EVENTS:
                 state = codec.fold_events(
                     state, codec.decode_events(record.payload))
                 self.records_replayed += 1
+                depth += 1
             elif record.kind == KIND_SEAL:
                 meta, _ = codec.unpack_record(record.payload)
                 if meta["result_checksum"] != codec.edge_checksum(state):
                     raise StoreError(
                         f"replay diverged: state at seal #{meta['step']} "
                         f"fails the sealed checksum")
+        # the distribution of tail-replay lengths is the store's
+        # time-travel cost profile (bounded by the compaction interval)
+        self.replay_depth.observe(depth)
         return state
 
     # -- time travel ---------------------------------------------------------------------
@@ -309,7 +329,9 @@ class GraphStore:
             start = None
             if hint is not None and 0 <= hint[0] <= t:
                 start = (self._seals[hint[0]], hint[1])
-            snap = self._state_at_record(idx, start=start)
+            with self.telemetry.trace("store.materialize", step=t,
+                                      hinted=start is not None):
+                snap = self._state_at_record(idx, start=start)
         if cached:
             self._mat_cache[t] = snap
             while len(self._mat_cache) > self._mat_cache_size:
@@ -357,6 +379,42 @@ class GraphStore:
             snap = self.materialize(t, cached=False, hint=prev)
             prev = (t, snap)
             yield snap
+
+    # -- observability -------------------------------------------------------------------
+    def collect_metrics(self, reg) -> None:
+        """Sync the store's authoritative counters into ``reg``.
+
+        A serving tier calls this with its own registry at export time;
+        a standalone store can call it against any registry (e.g.
+        ``store.collect_metrics(store.telemetry.registry)``).
+        """
+        reg.counter("store_wal_records_total",
+                    "Valid records in the WAL").set_to(self.wal.num_records)
+        reg.gauge("store_wal_bytes",
+                  "Valid WAL bytes (torn tail excluded)").set(
+            self.wal.nbytes)
+        reg.counter("store_wal_appends_total",
+                    "Appends issued by this process").set_to(
+            self.wal.appends)
+        reg.counter("store_wal_append_bytes_total",
+                    "Framed bytes appended by this process").set_to(
+            self.wal.append_bytes)
+        reg.counter("store_wal_fsyncs_total",
+                    "fsyncs forced by appends (sync=True only)").set_to(
+            self.wal.fsyncs)
+        reg.counter("store_timesteps_total",
+                    "Sealed timesteps").set_to(self.num_timesteps)
+        reg.counter("store_compaction_bases_total",
+                    "Compacted bases written").set_to(
+            self.compactor.bases_written)
+        reg.gauge("store_base_bytes",
+                  "Bytes across all compacted bases").set(self.base_nbytes)
+        reg.counter("store_records_replayed_total",
+                    "WAL records replayed by materializations").set_to(
+            self.records_replayed)
+        reg.attach("store_replay_depth", self.replay_depth,
+                   "WAL records replayed per materialization "
+                   "(bounded by the compaction interval)")
 
     # -- integrity -----------------------------------------------------------------------
     def verify(self) -> int:

@@ -72,6 +72,11 @@ class DeltaLog:
     def __init__(self, path: str, *, sync: bool = False) -> None:
         self.path = path
         self.sync = sync
+        # lifetime I/O counters (appends this process issued — unlike
+        # num_records/nbytes these do not count pre-existing log content)
+        self.appends = 0
+        self.append_bytes = 0
+        self.fsyncs = 0
         self._offsets: list[tuple[int, int, int]] = []  # (offset, kind, len)
         self._valid_bytes = 0
         if not os.path.exists(path):
@@ -190,6 +195,9 @@ class DeltaLog:
             fh.flush()
             if self.sync:
                 os.fsync(fh.fileno())
+                self.fsyncs += 1
+        self.appends += 1
+        self.append_bytes += len(frame)
         index = len(self._offsets)
         self._offsets.append((self._valid_bytes, kind, len(payload)))
         self._valid_bytes += len(frame)

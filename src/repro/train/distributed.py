@@ -37,6 +37,7 @@ from repro.errors import ConfigError, PartitionError
 from repro.graph.dtdg import DTDG
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
+from repro.obs import Telemetry
 from repro.partition.base import VertexChunks, contiguous_chunks
 from repro.partition.hybrid import hybrid_partition
 from repro.partition.snapshot_part import block_ranges
@@ -45,7 +46,7 @@ from repro.partition.vertex_part import (SnapshotCommPlan, VertexPartition,
                                          random_vertex_partition)
 from repro.tensor import Adam, Tensor, ops
 from repro.tensor.sparse import WIRE_FLOAT_BYTES
-from repro.train.metrics import EpochResult
+from repro.train.metrics import EpochResult, collect_epoch_metrics
 from repro.train.preprocess import (compute_laplacians,
                                     compute_laplacians_with_diffs,
                                     degree_features)
@@ -110,11 +111,13 @@ class DistributedTrainer:
     """Drives one model over one DTDG on a simulated cluster."""
 
     def __init__(self, model: DynamicGNN, dtdg: DTDG, task,
-                 cluster: Cluster, config: DistConfig) -> None:
+                 cluster: Cluster, config: DistConfig, *,
+                 telemetry: Telemetry | None = None) -> None:
         self.model = model
         self.task = task
         self.cluster = cluster
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         if dtdg.features is None:
             dtdg.set_features(degree_features(dtdg))
         self.dtdg = dtdg
@@ -766,14 +769,18 @@ class DistributedTrainer:
 
         t0 = time.perf_counter()
         try:
-            if cfg.partitioning == "vertex":
-                loss, last_embed = self._vertex_epoch_forward()
-            elif cfg.partitioning == "hybrid":
-                loss, last_embed = self._hybrid_epoch_forward()
-            else:
-                loss, last_embed = self._snapshot_epoch_forward()
+            with self.telemetry.trace("train.forward",
+                                      partitioning=cfg.partitioning,
+                                      ranks=self.num_ranks):
+                if cfg.partitioning == "vertex":
+                    loss, last_embed = self._vertex_epoch_forward()
+                elif cfg.partitioning == "hybrid":
+                    loss, last_embed = self._hybrid_epoch_forward()
+                else:
+                    loss, last_embed = self._snapshot_epoch_forward()
             forward_wall = time.perf_counter() - t0
-            loss.backward()
+            with self.telemetry.trace("train.backward"):
+                loss.backward()
         finally:
             if self.reuse is not None:
                 self.reuse.release()
@@ -799,7 +806,7 @@ class DistributedTrainer:
         if self.reuse is not None:
             agg_flops = self.reuse.stats.forward_flops
             agg_full = self.reuse.stats.full_equivalent_flops
-        return EpochResult(
+        result = EpochResult(
             loss=loss.item(),
             breakdown=breakdown,
             test_accuracy=self._test_accuracy(last_embed),
@@ -817,6 +824,10 @@ class DistributedTrainer:
             agg_flops=agg_flops,
             agg_flops_full_equivalent=agg_full,
         )
+        collect_epoch_metrics(self.telemetry, result,
+                              self.reuse.stats if self.reuse is not None
+                              else None)
+        return result
 
     def _charge_backward_mixed(self, fwd_compute: list[float],
                                rerun_transfers: bool) -> None:

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.cluster.clock import TimeBreakdown
 
-__all__ = ["EpochResult", "ConvergenceCurve"]
+__all__ = ["EpochResult", "ConvergenceCurve", "collect_epoch_metrics"]
 
 
 @dataclass
@@ -72,3 +73,51 @@ class ConvergenceCurve:
             raise ValueError("curves must have equal length")
         return max((abs(a - b) for a, b in zip(self.losses, other.losses)),
                    default=0.0)
+
+
+def collect_epoch_metrics(telemetry, result: EpochResult,
+                          reuse_stats=None) -> None:
+    """Fold one epoch's :class:`EpochResult` into a telemetry registry.
+
+    Epoch results (and the aggregation cache's ``ReuseStats``, which
+    resets every epoch) are per-epoch deltas, so everything accumulates
+    with ``inc`` — unlike the serving tier's monotonic plain-int
+    counters, which sync with ``set_to`` at export time.
+    """
+    reg = telemetry.registry
+    reg.counter("train_epochs_total", "Epochs completed").inc()
+    reg.counter("train_forward_seconds_total",
+                "Wall seconds in forward sweeps").inc(result.forward_wall_s)
+    reg.counter("train_comm_volume_units_total",
+                "Feature-vector units exchanged").inc(
+        result.comm_volume_units)
+    reg.counter("train_comm_volume_full_units_total",
+                "Full-halo equivalent of the exchanged units").inc(
+        result.comm_volume_full_units)
+    reg.counter("train_transfer_bytes_total",
+                "Delta-encoded snapshot bytes moved").inc(
+        result.transfer_bytes)
+    reg.gauge("train_loss", "Most recent epoch loss").set(result.loss)
+    if not math.isnan(result.test_accuracy):
+        reg.gauge("train_test_accuracy",
+                  "Most recent epoch test accuracy").set(
+            result.test_accuracy)
+    reg.gauge("train_peak_memory_bytes",
+              "Peak device-ledger bytes last epoch").set(
+        result.peak_memory_bytes)
+    if reuse_stats is None:
+        return
+    # per-timestep aggregation decisions, labeled by how each
+    # aggregation was satisfied (memo reuse / sparse patch / full SpMM)
+    for mode, value in (("memo", reuse_stats.memo_hits),
+                        ("patch", reuse_stats.patches),
+                        ("full", reuse_stats.full_spmm)):
+        reg.counter("train_agg_decisions_total",
+                    "Aggregation-cache decisions by mode",
+                    mode=mode).inc(value)
+    reg.counter("train_agg_flops_total",
+                "Sparse FLOPs the aggregation stage executed").inc(
+        reuse_stats.forward_flops + reuse_stats.backward_flops)
+    reg.counter("train_agg_flops_full_equivalent_total",
+                "FLOPs an always-full execution would have paid").inc(
+        reuse_stats.full_equivalent_flops)

@@ -27,10 +27,11 @@ from repro.cluster.transfer import TransferEngine
 from repro.errors import ConfigError
 from repro.graph.dtdg import DTDG
 from repro.models.base import DynamicGNN
+from repro.obs import Telemetry
 from repro.partition.snapshot_part import block_ranges
 from repro.tensor import Adam, Tensor
 from repro.train.checkpoint import CheckpointRunner, carry_nbytes
-from repro.train.metrics import EpochResult
+from repro.train.metrics import EpochResult, collect_epoch_metrics
 from repro.train.preprocess import (compute_laplacians_with_diffs,
                                     degree_features)
 from repro.train.reuse import AggregationCache
@@ -74,11 +75,13 @@ class SingleDeviceTrainer:
 
     def __init__(self, model: DynamicGNN, dtdg: DTDG, task,
                  config: TrainerConfig,
-                 device: Device | None = None) -> None:
+                 device: Device | None = None, *,
+                 telemetry: Telemetry | None = None) -> None:
         self.model = model
         self.task = task
         self.config = config
         self.device = device
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.transfer = TransferEngine()
         if dtdg.features is None:
             dtdg.set_features(degree_features(dtdg))
@@ -222,15 +225,22 @@ class SingleDeviceTrainer:
         try:
             if self.config.num_blocks == 1:
                 t0 = time.perf_counter()
-                outs = self.model(laps, frames)
+                with self.telemetry.trace("train.forward",
+                                          timesteps=self.train_t):
+                    outs = self.model(laps, frames)
                 forward_wall = time.perf_counter() - t0
                 loss = self.task.loss_full(outs)
-                loss.backward()
+                with self.telemetry.trace("train.backward"):
+                    loss.backward()
                 loss_value = loss.item()
                 final_embed = outs[-1]
             else:
-                result = self._runner.run_epoch(laps, frames,
-                                                self.task.loss_block)
+                # the checkpointed runner interleaves forward re-runs
+                # and per-block backwards; one span covers the pair
+                with self.telemetry.trace("train.forward",
+                                          blocks=self.config.num_blocks):
+                    result = self._runner.run_epoch(laps, frames,
+                                                    self.task.loss_block)
                 loss_value = result.loss
                 t0 = time.perf_counter()
                 final_embed = self._runner.forward_streaming(
@@ -252,7 +262,7 @@ class SingleDeviceTrainer:
         if self.reuse is not None:
             agg_flops = self.reuse.stats.forward_flops
             agg_full = self.reuse.stats.full_equivalent_flops
-        return EpochResult(
+        result = EpochResult(
             loss=loss_value,
             breakdown=TimeBreakdown(breakdown.transfer, breakdown.compute,
                                     breakdown.comm),
@@ -266,6 +276,10 @@ class SingleDeviceTrainer:
             agg_flops=agg_flops,
             agg_flops_full_equivalent=agg_full,
         )
+        collect_epoch_metrics(self.telemetry, result,
+                              self.reuse.stats if self.reuse is not None
+                              else None)
+        return result
 
     def _test_accuracy(self, final_embed: Tensor) -> float:
         if isinstance(self.task, LinkPredictionTask):

@@ -1,0 +1,124 @@
+"""Exporters: Prometheus text, JSONL events, human-readable dumps."""
+
+import io
+import json
+
+from repro.obs import (JsonlSink, MetricsRegistry, Telemetry, Tracer,
+                       metrics_events, prometheus_text, render_metrics,
+                       render_span_tree, span_events)
+
+
+def small_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve_queries_total", "Queries answered").inc(42)
+    reg.counter("shard_halo_bytes_total", shard="0").inc(1024)
+    reg.counter("shard_halo_bytes_total", shard="1").inc(2048)
+    reg.gauge("serve_queue_depth").set(3)
+    h = reg.histogram("serve_latency_ms")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_help_type_and_samples(self):
+        text = prometheus_text(small_registry())
+        assert "# HELP serve_queries_total Queries answered" in text
+        assert "# TYPE serve_queries_total counter" in text
+        assert "serve_queries_total 42" in text
+        assert 'shard_halo_bytes_total{shard="0"} 1024' in text
+        assert 'shard_halo_bytes_total{shard="1"} 2048' in text
+        assert "serve_queue_depth 3" in text
+
+    def test_histogram_as_summary(self):
+        text = prometheus_text(small_registry())
+        assert "# TYPE serve_latency_ms summary" in text
+        assert 'serve_latency_ms{quantile="0.5"} 2.5' in text
+        assert "serve_latency_ms_sum 10" in text
+        assert "serve_latency_ms_count 4" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", path='a"b\\c\nd').inc()
+        text = prometheus_text(reg)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestJsonl:
+    def test_metrics_events_shape(self):
+        events = metrics_events(small_registry())
+        by_name = {}
+        for e in events:
+            by_name.setdefault(e["name"], []).append(e)
+        assert by_name["serve_queries_total"][0]["value"] == 42.0
+        assert len(by_name["shard_halo_bytes_total"]) == 2
+        hist = by_name["serve_latency_ms"][0]
+        assert hist["count"] == 4 and hist["sum"] == 10.0
+
+    def test_span_events_nested(self):
+        tracer = Tracer(enabled=True)
+        with tracer.trace("a", k=1):
+            with tracer.trace("b"):
+                pass
+        events = span_events(tracer)
+        assert len(events) == 1
+        assert events[0]["type"] == "span"
+        assert events[0]["children"][0]["name"] == "b"
+
+    def test_sink_writes_valid_json_lines(self):
+        buf = io.StringIO()
+        with JsonlSink(buf) as sink:
+            sink.emit({"type": "metric", "value": 1.5})
+            sink.emit_many([{"a": 1}, {"b": 2}])
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_sink_nan_becomes_null(self):
+        buf = io.StringIO()
+        JsonlSink(buf).emit({"v": float("nan"),
+                             "nested": [float("inf"), 2.0]})
+        parsed = json.loads(buf.getvalue())
+        assert parsed == {"v": None, "nested": [None, 2.0]}
+
+    def test_sink_path_append(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"n": 1})
+        with JsonlSink(path) as sink:
+            sink.emit({"n": 2})
+        lines = open(path).read().strip().splitlines()
+        assert [json.loads(l)["n"] for l in lines] == [1, 2]
+
+    def test_telemetry_export_jsonl_counts(self):
+        tel = Telemetry(tracing=True)
+        tel.counter("c_total").inc()
+        with tel.trace("s"):
+            pass
+        buf = io.StringIO()
+        # c_total + span_seconds + span_calls + 1 span tree
+        assert tel.export_jsonl(buf) == 4
+        assert tel.export_jsonl(io.StringIO(), spans=False) == 3
+
+
+class TestRender:
+    def test_span_tree_indents(self):
+        tracer = Tracer(enabled=True)
+        with tracer.trace("serve.ingest", events=9):
+            with tracer.trace("serve.commit"):
+                pass
+        out = render_span_tree(tracer)
+        lines = out.splitlines()
+        assert lines[0].startswith("serve.ingest")
+        assert "events=9" in lines[0]
+        assert lines[1].startswith("  serve.commit")
+
+    def test_metrics_table_lists_everything(self):
+        out = render_metrics(small_registry())
+        assert "serve_queries_total" in out
+        assert 'shard_halo_bytes_total{shard="1"}' in out
+        assert "count=4" in out

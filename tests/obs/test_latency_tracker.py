@@ -1,0 +1,65 @@
+"""LatencyTracker beyond reservoir capacity: exactness and sampling.
+
+The serving latency tracker must stay truthful on streams far larger
+than its reservoir: count/mean exact over the full stream, memory
+bounded, percentiles statistically close on a seeded stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import LatencyTracker
+
+
+class TestBeyondCapacity:
+    def test_reservoir_stays_bounded(self):
+        tracker = LatencyTracker(reservoir_size=256)
+        for v in range(10_000):
+            tracker.record(float(v))
+        assert tracker.sampled == 256
+        assert tracker.count == 10_000
+
+    def test_count_and_mean_exact_over_100k_stream(self):
+        rng = np.random.default_rng(42)
+        values = rng.exponential(scale=5.0, size=100_000)
+        tracker = LatencyTracker(reservoir_size=1024)
+        for v in values:
+            tracker.record(float(v))
+        assert tracker.count == 100_000
+        assert tracker.mean == pytest.approx(values.mean(), rel=1e-12)
+
+    def test_percentiles_within_tolerance_on_seeded_stream(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=1.0, sigma=0.75, size=50_000)
+        tracker = LatencyTracker(reservoir_size=4096, seed=0)
+        for v in values:
+            tracker.record(float(v))
+        # a 4096-sample uniform reservoir estimates mid/high quantiles
+        # of a 50k stream to within a few percent
+        for q, attr in ((50, "p50"), (95, "p95"), (99, "p99")):
+            exact = float(np.percentile(values, q))
+            estimate = getattr(tracker, attr)
+            assert estimate == pytest.approx(exact, rel=0.10), \
+                f"p{q}: reservoir {estimate} vs exact {exact}"
+
+    def test_deterministic_given_seed(self):
+        def run():
+            t = LatencyTracker(reservoir_size=64, seed=3)
+            for v in range(5_000):
+                t.record(float(v % 97))
+            return (t.p50, t.p95, t.p99)
+
+        assert run() == run()
+
+
+class TestRejection:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_latency_rejected(self, bad):
+        tracker = LatencyTracker()
+        tracker.record(1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            tracker.record(bad)
+        # the poison never landed: stream stats unaffected
+        assert tracker.count == 1
+        assert tracker.mean == 1.0

@@ -1,0 +1,152 @@
+"""Span tracing: tree building, disabled fast path, registry fold-in."""
+
+from repro.obs import NULL_SPAN, MetricsRegistry, Telemetry, Tracer
+
+
+def fake_clock():
+    """Deterministic clock advancing 1.0s per read."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    return clock
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.trace("serve.ingest", events=3)
+        assert span is NULL_SPAN
+        assert tracer.trace("other") is span  # no allocation per call
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as s:
+            s.set(rows=5)  # must not raise
+        assert not Tracer(enabled=False).roots
+
+    def test_enable_disable_live(self):
+        tracer = Tracer(enabled=False)
+        tracer.enable()
+        with tracer.trace("a"):
+            pass
+        tracer.disable()
+        with tracer.trace("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a"]
+
+
+class TestTree:
+    def test_nesting_builds_parent_child(self):
+        tracer = Tracer(enabled=True)
+        with tracer.trace("serve.ingest", events=7):
+            with tracer.trace("serve.commit"):
+                pass
+            with tracer.trace("serve.maintainer"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "serve.ingest"
+        assert root.attrs == {"events": 7}
+        assert [c.name for c in root.children] == ["serve.commit",
+                                                   "serve.maintainer"]
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(enabled=True, clock=fake_clock())
+        with tracer.trace("outer"):      # enter t=1
+            with tracer.trace("inner"):  # enter t=2, exit t=3
+                pass
+        # outer: enter 1, exit 4
+        root = tracer.roots[0]
+        assert root.duration_s == 3.0
+        assert root.children[0].duration_s == 1.0
+
+    def test_walk_preorder(self):
+        tracer = Tracer(enabled=True)
+        with tracer.trace("a"):
+            with tracer.trace("b"):
+                with tracer.trace("c"):
+                    pass
+            with tracer.trace("d"):
+                pass
+        walked = [(d, s.name) for d, s in tracer.roots[0].walk()]
+        assert walked == [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+
+    def test_set_annotate_and_error_attr(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.trace("risky") as span:
+                span.set(step=3)
+                tracer.annotate(deep="yes")
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        root = tracer.roots[0]
+        assert root.attrs == {"step": 3, "deep": "yes",
+                              "error": "RuntimeError"}
+
+    def test_bounded_roots(self):
+        tracer = Tracer(enabled=True, max_roots=4)
+        for i in range(10):
+            with tracer.trace(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots] == ["s6", "s7", "s8", "s9"]
+
+    def test_clear_drops_roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.trace("a"):
+            pass
+        tracer.clear()
+        assert not tracer.roots
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current is None
+        with tracer.trace("a") as a:
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_to_dict_nested(self):
+        tracer = Tracer(enabled=True)
+        with tracer.trace("a", k=1):
+            with tracer.trace("b"):
+                pass
+        d = tracer.roots[0].to_dict()
+        assert d["name"] == "a"
+        assert d["attrs"] == {"k": 1}
+        assert d["children"][0]["name"] == "b"
+
+
+class TestRegistryFold:
+    def test_finished_spans_fold_into_counters(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(enabled=True, registry=reg, clock=fake_clock())
+        with tracer.trace("serve.query"):
+            pass
+        with tracer.trace("serve.query"):
+            pass
+        assert reg.value("span_calls_total", span="serve.query") == 2.0
+        assert reg.value("span_seconds_total", span="serve.query") == 2.0
+
+    def test_children_fold_too(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(enabled=True, registry=reg)
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+        assert reg.value("span_calls_total", span="inner") == 1.0
+
+
+class TestTelemetry:
+    def test_bundle_shares_registry(self):
+        tel = Telemetry(tracing=True)
+        with tel.trace("serve.ingest"):
+            pass
+        assert tel.stage_seconds().keys() == {"serve.ingest"}
+        assert tel.tracer.registry is tel.registry
+
+    def test_tracing_off_by_default(self):
+        tel = Telemetry()
+        assert tel.trace("x") is NULL_SPAN
+        assert tel.stage_seconds() == {}

@@ -52,6 +52,14 @@ class TestLatencyReservoir:
         with pytest.raises(ValueError):
             LatencyTracker(reservoir_size=0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_record_rejected(self, bad):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.record(bad)
+        assert tracker.count == 0
+
     def test_server_stats_use_tracker(self):
         """End-to-end: a server's latency stats flow through the
         reservoir without interface changes."""
@@ -70,3 +78,29 @@ class TestLatencyReservoir:
         stats = server.stats()
         assert stats.latency_p95_ms >= stats.latency_p50_ms >= 0.0
         assert server.latency.count == 5
+
+    def test_stats_counters_are_a_snapshot(self):
+        """Regression: stats() must copy the counters, not alias the
+        live object — later traffic cannot mutate an old snapshot."""
+        from repro.graph import AMLSimConfig, generate_amlsim
+        from repro.models import build_model
+        from repro.serve import ModelServer
+
+        dtdg = generate_amlsim(AMLSimConfig(
+            num_accounts=50, num_timesteps=4, background_per_step=80,
+            seed=4)).dtdg
+        model = build_model("cdgcn", in_features=2, seed=0)
+        server = ModelServer(model, dtdg[0])
+        for _ in range(3):
+            server.submit_link(1, 2)
+        server.drain()
+        before = server.stats()
+        frozen = before.counters.queries_completed
+        assert frozen == 3
+
+        for _ in range(4):
+            server.submit_link(2, 3)
+        server.drain()
+        assert before.counters.queries_completed == frozen
+        assert server.stats().counters.queries_completed == 7
+        assert before.counters is not server.counters
