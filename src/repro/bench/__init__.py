@@ -14,6 +14,8 @@ from repro.bench.serving import (ServingBenchResult, ServingWorkloadConfig,
 from repro.bench.sharded import (ShardedBenchResult, ShardedScalePoint,
                                  ShardedWorkloadConfig,
                                  run_sharded_benchmark)
+from repro.bench.exec import (ExecBenchResult, ExecScalePoint,
+                              ExecWorkloadConfig, run_exec_benchmark)
 from repro.bench.store import (StoreBenchResult, StoreWorkloadConfig,
                                run_store_benchmark)
 from repro.bench.kernels import (KernelsBenchResult, KernelWorkloadConfig,
@@ -33,6 +35,8 @@ __all__ = [
     "build_query_plan", "replay_stream", "run_serving_benchmark",
     "ShardedWorkloadConfig", "ShardedScalePoint", "ShardedBenchResult",
     "run_sharded_benchmark",
+    "ExecWorkloadConfig", "ExecScalePoint", "ExecBenchResult",
+    "run_exec_benchmark",
     "StoreWorkloadConfig", "StoreBenchResult", "run_store_benchmark",
     "KernelWorkloadConfig", "KernelsBenchResult", "run_kernels_benchmark",
     "TrainingWorkloadConfig", "TrainingBenchResult",

@@ -1,0 +1,303 @@
+"""Execution-tier workload: the AML-Sim replay on real worker processes.
+
+The replay of :mod:`repro.bench.serving` is driven through an
+:class:`~repro.exec.router.ExecRouter` at process counts ``N = 1, 2,
+4`` — and unlike every other bench in this repo, the N-process points
+are *real*: each shard worker is its own OS process, the read-mostly
+blocks live in shared memory, and GD deltas/queries cross a pipe.
+
+Each shard count measures three replays of the byte-identical stream:
+
+* **multiprocess, pipelined** — RPCs fan out to all workers before any
+  reply is collected, so worker processes genuinely overlap.  Its
+  wall-clock is the honest end-to-end number and is recorded as the
+  (unguarded) ``real_wall_ratio``: on a many-core host it approaches
+  the critical-path ratio, on a single-core host it approaches 1.0,
+  because co-scheduled processes merely timeshare.
+* **multiprocess, serialized** (``pipeline=False``) — one worker runs
+  at a time, so each process's busy clock (measured *inside* the
+  worker with ``perf_counter``) is free of co-scheduling noise.  The
+  tier's **critical path** — router busy time plus the slowest
+  worker's busy time — is the core-count-independent scaling signal,
+  and its N=1 / N=max ratio is the guarded ``scaling_speedup``.
+* **simulated** — the in-process oracle; its gathered embeddings must
+  match the multiprocess tier's bit for bit (``max_abs_divergence``).
+
+Results land in ``results/exec_scaling.txt`` and ``BENCH_exec.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.reporting import render_table, write_bench_json, write_report
+from repro.bench.serving import build_event_schedule, build_query_plan
+from repro.exec import ExecRouter, ExecStats
+from repro.graph.amlsim import AMLSimConfig, generate_amlsim
+from repro.models import build_model
+from repro.nn.linear import Linear
+
+__all__ = ["ExecWorkloadConfig", "ExecScalePoint", "ExecBenchResult",
+           "run_exec_benchmark"]
+
+
+@dataclass(frozen=True)
+class ExecWorkloadConfig:
+    """Knobs of the real-process replay.
+
+    Same regional-branch AML-Sim shape as the sharded bench (locality
+    for the router to exploit, planted typologies that keep crossing
+    shard boundaries), sized so the full sweep — nine replays, six of
+    them with live worker processes — stays in CI territory."""
+
+    model: str = "cdgcn"
+    num_accounts: int = 4000
+    num_timesteps: int = 6
+    background_per_step: int = 2500
+    partner_persistence: float = 0.95
+    activity_skew: float = 0.0
+    num_branches: int = 8
+    branch_locality: float = 0.9
+    warmup_timesteps: int = 2
+    event_batches_per_step: int = 2
+    queries_per_batch: int = 24
+    max_batch_size: int = 128
+    flush_latency_ms: float = 50.0
+    hidden: int = 32
+    embed_dim: int = 32
+    shard_counts: tuple = (1, 2, 4)
+    # timing repetitions per (shard count, mode); the minimum wall is
+    # reported, filtering one-sided scheduler/GC noise out of the
+    # measured process clocks
+    measure_reps: int = 2
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ExecWorkloadConfig":
+        """CI-sized sweep: same shape, smaller graph.
+
+        The graph cannot shrink too far: each worker's halo is a k-hop
+        neighborhood, so on a tiny graph coverage overlap eats the
+        scaling this bench guards."""
+        return cls(num_accounts=2000, background_per_step=1500)
+
+    def amlsim(self) -> AMLSimConfig:
+        return AMLSimConfig(
+            num_accounts=self.num_accounts,
+            num_timesteps=self.num_timesteps,
+            background_per_step=self.background_per_step,
+            partner_persistence=self.partner_persistence,
+            activity_skew=self.activity_skew,
+            num_branches=self.num_branches,
+            branch_locality=self.branch_locality,
+            seed=self.seed)
+
+
+@dataclass(frozen=True)
+class ExecScalePoint:
+    """One process count's outcome."""
+
+    num_shards: int
+    stats: ExecStats           # from the serialized multiprocess replay
+    real_wall_s: float         # pipelined multiprocess, end-to-end
+    critical_path_s: float     # router busy + slowest worker busy
+    sim_wall_s: float          # simulated oracle, end-to-end
+    divergence: float          # mp vs simulated gathered embeddings
+
+
+@dataclass(frozen=True)
+class ExecBenchResult:
+    """Outcome of the full process-scaling sweep."""
+
+    points: tuple
+    num_queries: int
+    num_events: int
+    max_abs_divergence: float
+
+    def point(self, num_shards: int) -> ExecScalePoint:
+        for p in self.points:
+            if p.num_shards == num_shards:
+                return p
+        raise KeyError(f"no scale point for N={num_shards}")
+
+    @property
+    def max_shards(self) -> int:
+        return max(p.num_shards for p in self.points)
+
+    @property
+    def scaling_speedup(self) -> float:
+        """Critical-path ratio, N=1 over N=max (guarded in CI)."""
+        return (self.point(1).critical_path_s
+                / self.point(self.max_shards).critical_path_s)
+
+    @property
+    def real_wall_ratio(self) -> float:
+        """True wall-clock ratio, N=1 over N=max (unguarded: honest
+        but bounded by the host's core count)."""
+        return (self.point(1).real_wall_s
+                / self.point(self.max_shards).real_wall_s)
+
+
+def _replay(router: ExecRouter, schedule, plan) -> float:
+    """Drive one tier through the stream; returns wall seconds."""
+    t0 = time.perf_counter()
+    for batches, step_queries in zip(schedule, plan):
+        router.advance_time()
+        for events, queries in zip(batches, step_queries):
+            if events:
+                router.ingest_events(events)
+            for kind, payload in queries:
+                if kind == "link":
+                    router.submit_link(*payload)
+                else:
+                    router.submit_fraud(*payload)
+            router.flush()
+    router.drain()
+    return time.perf_counter() - t0
+
+
+def run_exec_benchmark(config: ExecWorkloadConfig | None = None,
+                       report_name: str | None = "exec_scaling"
+                       ) -> ExecBenchResult:
+    """Replay the stream at every configured process count."""
+    if config is None:
+        config = ExecWorkloadConfig.smoke() \
+            if os.environ.get("REPRO_SMOKE") else ExecWorkloadConfig()
+    sim = generate_amlsim(config.amlsim())
+    dtdg = sim.dtdg
+    start = config.warmup_timesteps
+    if not 1 <= start < dtdg.num_timesteps:
+        raise ValueError("warmup_timesteps must leave timesteps to stream")
+    schedule = build_event_schedule(dtdg, start,
+                                    config.event_batches_per_step)
+    plan = build_query_plan(dtdg, start, schedule, config.queries_per_batch,
+                            config.seed)
+    num_events = sum(len(ev) for batches in schedule for ev in batches)
+
+    def boot(backend: str, num_shards: int, pipeline: bool) -> ExecRouter:
+        model = build_model(config.model, in_features=2,
+                            hidden=config.hidden,
+                            embed_dim=config.embed_dim, seed=config.seed)
+        fraud = Linear(config.embed_dim, 2,
+                       np.random.default_rng(config.seed + 7))
+        router = ExecRouter(model, dtdg[0], backend=backend,
+                            num_shards=num_shards, fraud_head=fraud,
+                            max_batch_size=config.max_batch_size,
+                            flush_latency_ms=config.flush_latency_ms,
+                            pipeline=pipeline)
+        for t in range(1, start):
+            router.advance_time(dtdg[t])
+        return router
+
+    points = []
+    num_queries = 0
+    reps = max(1, config.measure_reps)
+    for n in config.shard_counts:
+        # real overlap: pipelined fan-out, end-to-end wall clock
+        real_wall = float("inf")
+        mp_embeddings = None
+        for _ in range(reps):
+            piped = boot("multiprocess", n, pipeline=True)
+            real_wall = min(real_wall, _replay(piped, schedule, plan))
+            mp_embeddings = piped.gathered_embeddings()
+            piped.close()
+
+        # clean busy clocks: one worker at a time, stats deltas give
+        # the warmup-free critical path
+        critical = float("inf")
+        for _ in range(reps):
+            serial = boot("multiprocess", n, pipeline=False)
+            base = serial.stats()
+            _replay(serial, schedule, plan)
+            stats = serial.stats()
+            serial.close()
+            busy = [b - b0 for b, b0 in zip(stats.per_shard_busy_s,
+                                            base.per_shard_busy_s)]
+            critical = min(critical, (stats.router_busy_s
+                                      - base.router_busy_s) + max(busy))
+
+        oracle = boot("simulated", n, pipeline=True)
+        sim_wall = _replay(oracle, schedule, plan)
+        divergence = float(np.abs(oracle.gathered_embeddings()
+                                  - mp_embeddings).max())
+        oracle.close()
+
+        num_queries = stats.counters.queries_completed
+        points.append(ExecScalePoint(
+            num_shards=n, stats=stats, real_wall_s=real_wall,
+            critical_path_s=critical, sim_wall_s=sim_wall,
+            divergence=divergence))
+
+    result = ExecBenchResult(
+        points=tuple(points), num_queries=num_queries,
+        num_events=num_events,
+        max_abs_divergence=max(p.divergence for p in points))
+
+    if report_name:
+        rows = []
+        for p in result.points:
+            s = p.stats
+            rows.append((
+                p.num_shards,
+                round(result.num_queries / p.critical_path_s, 1),
+                round(result.point(1).critical_path_s
+                      / p.critical_path_s, 2),
+                round(p.real_wall_s, 3),
+                round(p.critical_path_s, 3),
+                s.rpc_roundtrips,
+                round(s.rpc_bytes_sent / 2**20, 2),
+                round(s.shm_bytes_mapped / 2**20, 2),
+                s.traffic.rows_shipped,
+                f"{p.divergence:.1e}"))
+        table = render_table(
+            ["procs", "qps", "scaling", "real wall s", "critical s",
+             "rpcs", "MiB piped", "MiB shm", "halo rows", "divergence"],
+            rows,
+            title=(f"Real-process execution tier: AML-Sim {config.model} "
+                   f"N={config.num_accounts} "
+                   f"({dtdg.num_timesteps - start} streamed timesteps; "
+                   f"critical-path scaling "
+                   f"{result.scaling_speedup:.2f}x, real wall ratio "
+                   f"{result.real_wall_ratio:.2f}x, max divergence "
+                   f"{result.max_abs_divergence:.2e})"))
+        write_report(report_name, table)
+        write_bench_json("exec", {
+            "workload": {
+                "model": config.model,
+                "num_accounts": config.num_accounts,
+                "streamed_timesteps": dtdg.num_timesteps - start,
+                "num_events": num_events,
+                "num_queries": result.num_queries,
+                "shard_counts": list(config.shard_counts),
+            },
+            "backend": "multiprocess",
+            # guarded: core-count-independent critical-path ratio
+            "scaling_speedup": round(result.scaling_speedup, 3),
+            # unguarded: true wall clock, bounded by host cores
+            "real_wall_ratio": round(result.real_wall_ratio, 3),
+            "max_abs_divergence": result.max_abs_divergence,
+            "points": {
+                str(p.num_shards): {
+                    "real_wall_s": round(p.real_wall_s, 4),
+                    "critical_path_s": round(p.critical_path_s, 4),
+                    "sim_wall_s": round(p.sim_wall_s, 4),
+                    "aggregate_qps": round(
+                        result.num_queries / p.critical_path_s, 1),
+                    "router_busy_s": round(p.stats.router_busy_s, 4),
+                    "worker_busy_max_s": round(
+                        max(p.stats.per_shard_busy_s), 4),
+                    "rpc_roundtrips": p.stats.rpc_roundtrips,
+                    "rpc_bytes_sent": p.stats.rpc_bytes_sent,
+                    "rpc_bytes_received": p.stats.rpc_bytes_received,
+                    "shm_bytes_mapped": p.stats.shm_bytes_mapped,
+                    "halo_rows_shipped": p.stats.traffic.rows_shipped,
+                    "halo_bytes_shipped": p.stats.traffic.bytes_shipped,
+                    "divergence": p.divergence,
+                } for p in result.points
+            },
+        })
+    return result

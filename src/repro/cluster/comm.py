@@ -240,5 +240,18 @@ class Communicator:
             CommEvent("broadcast", label, nbytes * (p - 1), seconds))
         return [array.copy() for _ in range(p)]
 
+    def collect_metrics(self, reg) -> None:
+        """Mirror the volume ledger into a metrics registry as labeled
+        counters — one telemetry family shared with the exec tier's
+        real transports (``comm_bytes_total{label=}``)."""
+        for label in sorted({e.label for e in self.events}):
+            reg.counter("comm_bytes_total",
+                        "Collective payload bytes by traffic class",
+                        label=label).set_to(self.volume_bytes(label))
+            reg.counter("comm_full_equivalent_bytes_total",
+                        "Bytes a non-delta-aware exchange would have "
+                        "shipped", label=label).set_to(
+                self.full_equivalent_bytes(label))
+
     def reset(self) -> None:
         self.events.clear()

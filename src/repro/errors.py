@@ -53,3 +53,16 @@ class DatasetError(ReproError):
 class StoreError(ReproError):
     """Temporal graph store failure: corrupt WAL record, checksum
     mismatch, or a log that does not apply to the resident state."""
+
+
+class ExecError(ReproError):
+    """Execution-tier failure (transport, worker process, or router)."""
+
+
+class WorkerDeadError(ExecError):
+    """The worker behind a transport is gone: its process exited, its
+    pipe broke, or a heartbeat found it unresponsive."""
+
+
+class WorkerTimeoutError(ExecError):
+    """An RPC did not complete within the transport's call timeout."""

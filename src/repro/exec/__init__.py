@@ -1,0 +1,48 @@
+"""Real-process execution tier: transport-agnostic worker RPC.
+
+The tiers below this package simulate parallelism with per-worker busy
+clocks inside one process.  This package makes the worker boundary
+real: :class:`~repro.exec.router.ExecRouter` speaks a small RPC surface
+(:class:`~repro.exec.transport.WorkerTransport`) to its shard workers
+and does not care who answers —
+
+* :class:`~repro.exec.simulated.SimulatedBackend` runs the workers
+  in-process over shared state (deterministic; the test oracle), while
+* :class:`~repro.exec.mp.MultiprocessBackend` runs each worker in its
+  own OS process with the read-mostly blocks in
+  ``multiprocessing.shared_memory`` and only deltas/queries on the
+  pipe.
+
+Both backends drive identical :class:`ShardWorker` numerics, so their
+outputs agree bit for bit; the real backend adds what the simulation
+cannot — true wall-clock overlap, crash surfaces, and wire costs.
+"""
+
+from repro.exec.mp import MultiprocessBackend, ProcessTransport
+from repro.exec.router import ExecCounters, ExecRouter, ExecStats
+from repro.exec.service import Substrate, WorkerService
+from repro.exec.shm import ArraySpec, map_array, share_array, \
+    snapshot_from_shared
+from repro.exec.simulated import LocalTransport, SimulatedBackend
+from repro.exec.transport import TransportStats, WorkerBoot, \
+    WorkerStats, WorkerTransport
+
+__all__ = [
+    "ArraySpec",
+    "ExecCounters",
+    "ExecRouter",
+    "ExecStats",
+    "LocalTransport",
+    "MultiprocessBackend",
+    "ProcessTransport",
+    "SimulatedBackend",
+    "Substrate",
+    "TransportStats",
+    "WorkerBoot",
+    "WorkerService",
+    "WorkerStats",
+    "WorkerTransport",
+    "map_array",
+    "share_array",
+    "snapshot_from_shared",
+]

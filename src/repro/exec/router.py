@@ -1,0 +1,738 @@
+"""The execution tier's front door: admission, coalescing, fan-out.
+
+:class:`ExecRouter` serves the :class:`~repro.serve.server.QueryFrontend`
+surface (``submit_link`` / ``submit_fraud`` / ``tick`` / ``flush`` /
+``ingest_events`` / ``advance_time``) over ``N`` shard workers reached
+through :class:`~repro.exec.transport.WorkerTransport` — so the same
+router runs the in-process oracle (:class:`SimulatedBackend`) and real
+worker processes (:class:`MultiprocessBackend`) with identical numerics.
+
+On top of the sharded tier's routing it adds what a real front door
+needs:
+
+* **admission control** — a bounded in-flight queue
+  (``max_inflight``): submits beyond the bound are *shed* (the query
+  resolves immediately with ``shed=True`` and no result) so worker
+  queues cannot grow without bound; crossing
+  ``backpressure_ratio * max_inflight`` raises an edge-triggered
+  backpressure signal callers can poll (:attr:`under_backpressure`);
+* **micro-batch coalescing** — queued queries group per owner shard
+  (span ``exec.coalesce``) and each flush issues one pipelined refresh
+  + one score RPC per touched shard (span ``exec.rpc``), amortizing
+  round-trips exactly as the single-process tier amortizes head
+  evaluations;
+* **pipelined fan-out** — writes submit to every shard before
+  collecting any reply (``pipeline=False`` serializes, which keeps
+  per-worker busy clocks clean on a single-core host — the bench's
+  critical-path mode);
+* **robustness** — per-call timeouts and heartbeats
+  (:meth:`heartbeat`, driven by :meth:`tick` when
+  ``heartbeat_interval_s`` is set) detect dead or hung workers; a dead
+  worker is respawned from the latest store capture and the WAL tail
+  replays through it (:meth:`_revive`), reusing the PR-3 recovery
+  machinery worker-by-worker.
+
+Instrumentation flows through the unified obs layer: spans
+``exec.dispatch`` / ``exec.rpc`` / ``exec.coalesce`` nest under the
+serving spans, counters export as ``serve_*_total`` /
+``exec_rpc_*_total{shard=}``, and cross-shard payloads land in the
+same ``comm_bytes_total{label=}`` family the simulated cluster's
+:class:`~repro.cluster.comm.Communicator` exports.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError, ExecError, StoreError, \
+    WorkerDeadError, WorkerTimeoutError
+from repro.graph.diff import split_diff_by_blocks
+from repro.graph.snapshot import GraphSnapshot
+from repro.models.base import DynamicGNN
+from repro.nn.linear import EdgeScorer, Linear
+from repro.obs import Telemetry
+from repro.serve.cache import expand_dirty
+from repro.serve.engine import InferenceEngine, derive_serving_features
+from repro.serve.ingest import EdgeEvent, StreamIngestor
+from repro.serve.server import PendingQuery, QueryFrontend
+from repro.serve.sharded.halo import HaloTraffic
+from repro.serve.sharded.plan import ShardPlan
+from repro.exec.mp import MultiprocessBackend
+from repro.exec.simulated import SimulatedBackend
+from repro.exec.transport import WorkerBoot
+from repro.store.recovery import pack_shard_export, unpack_sharded_state
+
+__all__ = ["ExecCounters", "ExecStats", "ExecRouter"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class ExecCounters:
+    """Monotonic counters the exec router increments as it works."""
+
+    queries_submitted: int = 0
+    queries_completed: int = 0
+    queries_shed: int = 0          # rejected by admission control
+    batches_flushed: int = 0
+    events_ingested: int = 0
+    commits: int = 0
+    advances: int = 0
+    refreshes: int = 0
+    rows_recomputed: int = 0
+    rows_advanced: int = 0
+    halo_dirty_rows: int = 0
+    cross_shard_events: int = 0
+    remote_row_fetches: int = 0
+    remote_row_bytes: int = 0
+    delta_bytes_fanout: int = 0
+    score_rpcs: int = 0
+    worker_restarts: int = 0       # crash recoveries performed
+    heartbeats: int = 0
+    heartbeat_failures: int = 0
+    backpressure_events: int = 0   # queue crossed the high watermark
+
+
+@dataclass(frozen=True)
+class ExecStats:
+    """Point-in-time view of the execution tier."""
+
+    counters: ExecCounters
+    traffic: HaloTraffic
+    num_shards: int
+    backend: str
+    per_shard_busy_s: tuple
+    router_busy_s: float
+    shm_bytes_mapped: int
+    rpc_roundtrips: int
+    rpc_bytes_sent: int
+    rpc_bytes_received: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    elapsed_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counters", replace(self.counters))
+        object.__setattr__(self, "traffic", self.traffic.copy())
+
+    @property
+    def critical_path_s(self) -> float:
+        """Router busy time plus the slowest worker's busy time — the
+        tier's wall-clock under ideal parallelism.  For real worker
+        processes this is measured (perf_counter inside each process);
+        on a host with fewer cores than workers it is the honest
+        scaling signal, since concurrent processes merely timeshare."""
+        slowest = max(self.per_shard_busy_s) if self.per_shard_busy_s \
+            else 0.0
+        return self.router_busy_s + slowest
+
+    @property
+    def aggregate_qps(self) -> float:
+        if self.critical_path_s <= 0:
+            return float("nan")
+        return self.counters.queries_completed / self.critical_path_s
+
+
+def _resolve_backend(backend):
+    if backend == "simulated":
+        return SimulatedBackend()
+    if backend in ("multiprocess", "mp"):
+        return MultiprocessBackend()
+    if isinstance(backend, str):
+        raise ConfigError(f"unknown exec backend {backend!r}")
+    return backend
+
+
+class ExecRouter(QueryFrontend):
+    """Admission-controlled router over transport-reached shard workers."""
+
+    def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot, *,
+                 backend="simulated",
+                 num_shards: int | None = None,
+                 plan: ShardPlan | None = None,
+                 link_head: EdgeScorer | None = None,
+                 fraud_head: Linear | None = None,
+                 max_batch_size: int = 64,
+                 flush_latency_ms: float = 2.0,
+                 k_hops: int | None = None,
+                 max_inflight: int | None = None,
+                 backpressure_ratio: float = 0.75,
+                 heartbeat_interval_s: float | None = None,
+                 pipeline: bool = True,
+                 telemetry: Telemetry | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if plan is None:
+            if num_shards is None:
+                raise ConfigError("pass num_shards or an explicit plan")
+            plan = ShardPlan.uniform(snapshot.num_vertices, num_shards)
+        if plan.num_vertices != snapshot.num_vertices:
+            raise ConfigError("shard plan does not cover the vertex set")
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        if not 0.0 < backpressure_ratio <= 1.0:
+            raise ConfigError("backpressure_ratio must be in (0, 1]")
+        self._init_frontend(max_batch_size, flush_latency_ms, clock,
+                            telemetry)
+        self.model = model
+        self.plan = plan
+        self.link_head = link_head
+        self.fraud_head = fraud_head
+        self.k_hops = model.num_layers if k_hops is None else k_hops
+        self.max_inflight = max_inflight
+        self.backpressure_ratio = backpressure_ratio
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.pipeline = pipeline
+        self.ingestor = StreamIngestor(snapshot)
+        self.counters = ExecCounters()
+        self.traffic = HaloTraffic()
+        self.router_busy_s = 0.0
+        self._per_shard_queries = np.zeros(plan.num_shards, dtype=np.int64)
+        self._backpressure = False
+        self._last_heartbeat: float | None = None
+        # cross-shard payload ledger, exported in the Communicator's
+        # comm_bytes_total{label=} family: labels "delta" (delta
+        # fan-out), "halo" (temporal-state mirroring), "query_rows"
+        # (remote embedding gathers)
+        self._comm_bytes: dict = defaultdict(int)
+        self._comm_full_bytes: dict = defaultdict(int)
+
+        self.backend = _resolve_backend(backend)
+        self.backend.attach(snapshot)
+        features, dinv = derive_serving_features(snapshot)
+        self.transports = []
+        for s in range(plan.num_shards):
+            boot = WorkerBoot(shard_id=s, model=model, snapshot=snapshot,
+                              owner=plan.owner, num_shards=plan.num_shards,
+                              k_hops=self.k_hops, link_head=link_head,
+                              fraud_head=fraud_head, features=features,
+                              dinv=dinv)
+            self.transports.append(self.backend.spawn(boot,
+                                                      clock=self.clock))
+        self._advance()  # prime embeddings for the initial snapshot
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def num_vertices(self) -> int:
+        return self.plan.num_vertices
+
+    @property
+    def under_backpressure(self) -> bool:
+        """True while the queue sits above the high watermark."""
+        return self._backpressure
+
+    def close(self) -> None:
+        """Shut every worker down and release backend resources
+        (shared-memory segments, processes)."""
+        for t in self.transports:
+            t.close()
+        self.backend.close()
+
+    def __enter__(self) -> "ExecRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- RPC fan-out ------------------------------------------------------------------
+    def _fanout(self, method: str, args_fn, shards=None) -> tuple:
+        """Issue one RPC per shard; returns ``({shard: result}, [dead])``.
+
+        Pipelined mode submits everywhere before collecting anywhere —
+        real workers overlap their execution.  Serialized mode
+        (``pipeline=False``) finishes each worker before touching the
+        next, so busy clocks never include co-scheduling noise."""
+        shards = list(range(self.num_shards)) if shards is None \
+            else list(shards)
+        results: dict = {}
+        dead: list[int] = []
+        with self.telemetry.trace("exec.rpc", method=method,
+                                  shards=len(shards)):
+            if self.pipeline:
+                submitted = []
+                for s in shards:
+                    try:
+                        self.transports[s].submit(method, *args_fn(s))
+                        submitted.append(s)
+                    except (WorkerDeadError, WorkerTimeoutError):
+                        dead.append(s)
+                for s in submitted:
+                    try:
+                        results[s] = self.transports[s].result()
+                    except (WorkerDeadError, WorkerTimeoutError):
+                        dead.append(s)
+            else:
+                for s in shards:
+                    try:
+                        results[s] = self.transports[s].call(
+                            method, *args_fn(s))
+                    except (WorkerDeadError, WorkerTimeoutError):
+                        dead.append(s)
+        return results, dead
+
+    def _comm_charge(self, label: str, nbytes: int,
+                     full_nbytes: int | None = None) -> None:
+        self._comm_bytes[label] += int(nbytes)
+        self._comm_full_bytes[label] += int(nbytes if full_nbytes is None
+                                            else full_nbytes)
+
+    # -- admission control -------------------------------------------------------------
+    def _submit(self, query: PendingQuery) -> PendingQuery:
+        if self._started_at is None:
+            self._started_at = query.enqueued_at
+        self.counters.queries_submitted += 1
+        if self.max_inflight is not None and \
+                len(self._queue) >= self.max_inflight:
+            # shed: resolve immediately with no result so the caller
+            # can retry/degrade instead of waiting behind a full queue
+            self.counters.queries_shed += 1
+            query.shed = True
+            query.done = True
+            return query
+        self._queue.append(query)
+        self._signal_backpressure()
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return query
+
+    def _signal_backpressure(self) -> None:
+        if self.max_inflight is None:
+            return
+        watermark = self.backpressure_ratio * self.max_inflight
+        above = len(self._queue) >= watermark
+        if above and not self._backpressure:
+            self.counters.backpressure_events += 1  # edge-triggered
+        self._backpressure = above
+
+    # -- liveness ----------------------------------------------------------------------
+    def heartbeat(self, timeout: float = 1.0) -> list[int]:
+        """Ping every worker; returns the shards that failed."""
+        self.counters.heartbeats += 1
+        dead = []
+        for s, t in enumerate(self.transports):
+            if not t.ping(timeout=timeout):
+                self.counters.heartbeat_failures += 1
+                dead.append(s)
+        return dead
+
+    def tick(self) -> int:
+        """Event-loop hook: heartbeat on schedule (reviving any dead
+        worker), then the inherited latency-budget flush check."""
+        if self.heartbeat_interval_s is not None:
+            now = self.clock()
+            if self._last_heartbeat is None or \
+                    now - self._last_heartbeat >= self.heartbeat_interval_s:
+                self._last_heartbeat = now
+                for s in self.heartbeat():
+                    self._revive(s)
+        return super().tick()
+
+    # -- ingestion --------------------------------------------------------------------
+    def ingest_events(self, events: Iterable[EdgeEvent]) -> int:
+        """Commit live edge events once, fan the GD delta out to every
+        worker, sync halo entrants.  WAL-before-ack when a store is
+        attached; a worker that dies during the fan-out is revived from
+        the latest capture + WAL tail before the method returns."""
+        events = list(events)
+        with self.telemetry.trace("serve.ingest", events=len(events)):
+            self._store_log_events(events)
+            with self.telemetry.trace("serve.commit"):
+                count = self.ingestor.push_batch(events)
+                result = self.ingestor.commit()
+            snap = result.snapshot
+            t0 = self.clock()
+            if self.backend.shares_substrate:
+                features, dinv = derive_serving_features(snap)
+                self.backend.publish(snap, features, dinv,
+                                     diff=result.diff)
+            dirty = expand_dirty(snap, result.dirty, self.k_hops)
+            subs = split_diff_by_blocks(result.diff, snap, self.plan.owner,
+                                        self.plan.num_shards)
+            delta_bytes = sum(d.payload_nbytes for d in subs)
+            self.counters.delta_bytes_fanout += delta_bytes
+            self._comm_charge("delta", delta_bytes,
+                              result.diff.naive_nbytes * self.num_shards)
+            for edges in (result.diff.added, result.diff.removed):
+                if len(edges):
+                    self.counters.cross_shard_events += int(
+                        (self.plan.owner[edges[:, 0]]
+                         != self.plan.owner[edges[:, 1]]).sum())
+            self.router_busy_s += self.clock() - t0
+            with self.telemetry.trace("serve.fanout",
+                                      shards=self.num_shards):
+                results, dead = self._fanout(
+                    "apply_delta", lambda s: (result.diff, dirty))
+            entrants: dict = {}
+            for s, (rows, ghost_dirty) in results.items():
+                entrants[s] = rows
+                self.counters.halo_dirty_rows += ghost_dirty
+            for s in dead:
+                entrants[s] = self._revive(s)
+            with self.telemetry.trace("serve.halo_sync", kind="entrants"):
+                self._sync_entrants(entrants)
+            self.counters.events_ingested += result.num_events
+            self.counters.commits += 1
+        return count
+
+    def advance_time(self, snapshot: GraphSnapshot | None = None, *,
+                     diff=None) -> None:
+        """Cross a timestep boundary (see :class:`ShardedServer` — same
+        protocol, RPC-shaped): begin everywhere, bulk halo sync, finish
+        everywhere."""
+        self._store_log_boundary(snapshot)
+        if snapshot is not None:
+            self.ingestor.rebase(snapshot)
+        self._advance(rebase=snapshot, diff=diff)
+        self._store_maybe_capture()
+
+    def _advance(self, rebase: GraphSnapshot | None = None,
+                 diff=None) -> None:
+        with self.telemetry.trace("serve.advance",
+                                  rebase=rebase is not None):
+            snap = self.ingestor.resident
+            t0 = self.clock()
+            if self.backend.shares_substrate:
+                features, dinv = derive_serving_features(snap)
+                self.backend.publish(snap, features, dinv, diff=diff)
+            self.router_busy_s += self.clock() - t0
+            # real workers fold the rebase diff into their own mirror;
+            # the full snapshot ships only when there is no delta for it
+            ship = rebase if (rebase is not None and diff is None) else None
+            _, dead = self._fanout("begin_advance", lambda s: (ship, diff))
+            self._require_all_alive(dead, "begin_advance")
+            if self.num_shards > 1:
+                with self.telemetry.trace("serve.halo_sync",
+                                          kind="boundary"):
+                    self._sync_halos()
+            results, dead = self._fanout("finish_advance", lambda s: ())
+            self._require_all_alive(dead, "finish_advance")
+            self.counters.rows_advanced += sum(results.values())
+            self.counters.advances += 1
+
+    def _require_all_alive(self, dead: list[int], stage: str) -> None:
+        if dead:
+            # a boundary crossing cannot be replayed worker-by-worker
+            # (the WAL tail would span the boundary) — the tier-level
+            # recover() path is the correct restart
+            raise WorkerDeadError(
+                f"shards {dead} died during {stage}; recover() the tier "
+                f"from its store")
+
+    # -- halo exchange (over transports) -----------------------------------------------
+    def _ship(self, target: int, rows: np.ndarray) -> None:
+        if len(rows) == 0:
+            return
+        owners = self.plan.owner[rows]
+        for src in np.unique(owners):
+            src = int(src)
+            if src == target:
+                continue
+            chunk = rows[owners == src]
+            payload = self.transports[src].export_temporal(chunk)
+            nbytes = self.transports[target].import_temporal(chunk, payload)
+            self.traffic.rows_shipped += len(chunk)
+            self.traffic.bytes_shipped += nbytes
+            self.traffic.messages += 1
+            self.traffic.rows_per_shard[target] += len(chunk)
+            self.traffic.bytes_per_shard[target] += nbytes
+            self._comm_charge("halo", nbytes)
+
+    def _sync_halos(self) -> None:
+        halos, dead = self._fanout("halo_rows", lambda s: ())
+        self._require_all_alive(dead, "halo sync")
+        for target in sorted(halos):
+            self._ship(target, halos[target])
+        self.traffic.boundary_syncs += 1
+
+    def _sync_entrants(self, entrants: dict) -> None:
+        shipped = False
+        for target in sorted(entrants):
+            if len(entrants[target]):
+                self._ship(target, entrants[target])
+                shipped = True
+        if shipped:
+            self.traffic.entrant_syncs += 1
+
+    # -- queries ----------------------------------------------------------------------
+    def flush(self) -> int:
+        """Route and answer one micro-batch; a worker death mid-batch
+        triggers revival and a single retry of the whole batch."""
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue[:self.max_batch_size], \
+            self._queue[self.max_batch_size:]
+        with self.telemetry.trace("exec.dispatch", batch=len(batch)):
+            try:
+                self._answer_batch(batch)
+            except (WorkerDeadError, WorkerTimeoutError):
+                for s in range(self.num_shards):
+                    if not self.transports[s].alive:
+                        self._revive(s)
+                self._answer_batch(batch)
+        self._signal_backpressure()
+        if self._queue:
+            return len(batch) + self.flush()
+        return len(batch)
+
+    def _answer_batch(self, batch: list) -> None:
+        with self.telemetry.trace("exec.coalesce", batch=len(batch)):
+            link_by_shard: dict[int, list] = {}
+            fraud_by_shard: dict[int, list] = {}
+            needed = set()
+            for q in batch:
+                if q.kind == "link":
+                    src, dst = q.payload
+                    s = int(self.plan.owner[src])
+                    link_by_shard.setdefault(s, []).append(q)
+                    needed.add(s)
+                    needed.add(int(self.plan.owner[dst]))
+                    self._per_shard_queries[s] += 1
+                else:
+                    s = int(self.plan.owner[q.payload[0]])
+                    fraud_by_shard.setdefault(s, []).append(q)
+                    needed.add(s)
+                    self._per_shard_queries[s] += 1
+        # every touched shard consumes its dirty set before any of its
+        # embeddings are read — one pipelined refresh round-trip
+        results, dead = self._fanout("refresh", lambda s: (),
+                                     shards=sorted(needed))
+        if dead:
+            raise WorkerDeadError(f"shards {dead} died during refresh")
+        for s, recomputed in results.items():
+            if recomputed:
+                self.counters.refreshes += 1
+                self.counters.rows_recomputed += recomputed
+        # gather the remote link endpoints first (shared-memory reads
+        # for the real backend), then pipeline one score RPC per shard
+        scoring = sorted(set(link_by_shard) | set(fraud_by_shard))
+        calls = {}
+        for s in scoring:
+            links = link_by_shard.get(s, [])
+            frauds = fraud_by_shard.get(s, [])
+            pairs = np.array([q.payload for q in links],
+                             dtype=np.int64).reshape(-1, 2)
+            accounts = np.array([q.payload[0] for q in frauds],
+                                dtype=np.int64)
+            dst_rows = self._gather_rows(pairs[:, 1], home=s) \
+                if len(pairs) else np.empty((0, self.model.embed_dim))
+            calls[s] = (links, frauds, pairs, dst_rows, accounts)
+        results, dead = self._fanout(
+            "score", lambda s: (calls[s][2], calls[s][3], calls[s][4]),
+            shards=scoring)
+        if dead:
+            raise WorkerDeadError(f"shards {dead} died during scoring")
+        self.counters.score_rpcs += len(scoring)
+        now = self.clock()
+        for s in scoring:
+            links, frauds = calls[s][0], calls[s][1]
+            link_scores, fraud_scores = results[s]
+            for q, score in zip(links, link_scores):
+                q._resolve(score, now)
+            for q, score in zip(frauds, fraud_scores):
+                q._resolve(score, now)
+        for q in batch:
+            self.latency.record(q.latency_ms)
+        self.counters.queries_completed += len(batch)
+        self.counters.batches_flushed += 1
+
+    def _gather_rows(self, rows: np.ndarray, home: int) -> np.ndarray:
+        owners = self.plan.owner[rows]
+        out = np.empty((len(rows), self.model.embed_dim))
+        for s in np.unique(owners):
+            s = int(s)
+            mask = owners == s
+            got = self.transports[s].embedding_rows(rows[mask])
+            out[mask] = got
+            if s != home:
+                self.counters.remote_row_fetches += int(mask.sum())
+                self.counters.remote_row_bytes += got.nbytes
+                self._comm_charge("query_rows", got.nbytes)
+        return out
+
+    def gathered_embeddings(self) -> np.ndarray:
+        """Full embedding matrix from each shard's owned rows (the
+        parity oracle: both backends must produce identical matrices)."""
+        _, dead = self._fanout("refresh", lambda s: ())
+        self._require_all_alive(dead, "gather")
+        out = np.empty((self.num_vertices, self.model.embed_dim))
+        for s in range(self.num_shards):
+            block = self.plan.block(s)
+            out[block] = self.transports[s].embedding_rows(block)
+        return out
+
+    # -- durability / recovery ---------------------------------------------------------
+    def _capture_state(self) -> tuple[dict, dict]:
+        exports, dead = self._fanout("export_state", lambda s: ())
+        self._require_all_alive(dead, "state capture")
+        kind = InferenceEngine._detect_kind(self.model)
+        steps = int(exports[0][2])
+        meta: dict = {"type": "sharded", "engine_kind": kind,
+                      "steps": steps, "num_shards": self.num_shards,
+                      "replicas": 1,
+                      "num_layers": self.model.num_layers, "shards": []}
+        arrays: dict = {"owner": np.array(self.plan.owner, copy=True)}
+        dirty = _EMPTY
+        for s in range(self.num_shards):
+            state, shard_dirty, _ = exports[s]
+            meta_shard: dict = {}
+            pack_shard_export(f"shard/{s}", state, kind, meta_shard,
+                              arrays)
+            meta["shards"].append(meta_shard)
+            dirty = np.union1d(dirty, shard_dirty)
+        arrays["dirty"] = dirty
+        return meta, arrays
+
+    @classmethod
+    def recover(cls, store, *, checkpoint: str | None = None,
+                model: DynamicGNN | None = None,
+                state_interval: int = 1, **kwargs) -> "ExecRouter":
+        """Reboot the whole tier from (checkpoint, newest capture, WAL
+        tail) — same contract as :meth:`ShardedServer.recover`, with
+        the state transplant delivered over adopt_state RPCs."""
+        model, meta, arrays, resident = cls._recovery_state(
+            store, checkpoint, model, kwargs)
+        owner, exports, dirty = unpack_sharded_state(meta, arrays)
+        plan = ShardPlan(owner=owner, num_shards=meta["num_shards"])
+        router = cls(model, resident, plan=plan, **kwargs)
+        steps = int(meta["steps"])
+        _, dead = router._fanout("adopt_state",
+                                 lambda s: (exports, steps, dirty))
+        router._require_all_alive(dead, "recovery transplant")
+        router._replay_store_tail(store, meta["record_index"],
+                                  state_interval)
+        return router
+
+    def _revive(self, shard: int) -> np.ndarray:
+        """Respawn one dead worker from the latest capture + WAL tail.
+
+        The capture's per-shard exports cover *every* vertex, so the
+        revived worker's ghost temporal state is already exact; the
+        tail (event batches only — boundaries force a tier-level
+        recover) replays through its own apply_delta RPCs.  Returns the
+        entrant rows of the final replayed batch, so the caller can run
+        the entrant sync it was about to do when the worker died."""
+        if self.store is None:
+            raise WorkerDeadError(
+                f"shard {shard} died with no store attached — revival "
+                f"needs a capture; serve with attach_store(...)")
+        state = self.store.latest_engine_state()
+        if state is None:
+            raise StoreError("store holds no engine-state capture")
+        meta, arrays = state
+        owner, exports, dirty = unpack_sharded_state(meta, arrays)
+        if not np.array_equal(owner, self.plan.owner):
+            raise ExecError(
+                "latest capture was taken under a different shard plan; "
+                "recover() the tier instead")
+        self.transports[shard].close()
+        resident = self.store._state_at_record(meta["record_index"])
+        boot = WorkerBoot(shard_id=shard, model=self.model,
+                          snapshot=resident, owner=self.plan.owner,
+                          num_shards=self.num_shards, k_hops=self.k_hops,
+                          link_head=self.link_head,
+                          fraud_head=self.fraud_head)
+        # solo: the revived worker folds deltas into a private mirror —
+        # it must not rebuild a shared substrate to its older resident
+        transport = self.backend.spawn(boot, solo=True, clock=self.clock)
+        self.transports[shard] = transport
+        transport.adopt_state(exports, int(meta["steps"]), dirty)
+        entrants = _EMPTY
+        ingestor = StreamIngestor(resident)
+        for op, payload in self.store.replay_tail(meta["record_index"],
+                                                  start=resident):
+            if op != "events":
+                raise ExecError(
+                    "WAL tail crosses a timestep boundary; single-worker "
+                    "revival cannot replay it — recover() the tier")
+            ingestor.push_batch(payload)
+            result = ingestor.commit()
+            dirty_rows = expand_dirty(result.snapshot, result.dirty,
+                                      self.k_hops)
+            entrants, _ = transport.apply_delta(result.diff, dirty_rows)
+        self.counters.worker_restarts += 1
+        return entrants
+
+    # -- observability ----------------------------------------------------------------
+    def _collect_tier_metrics(self, reg) -> None:
+        reg.gauge("exec_shard_count", "Workers in the tier").set(
+            self.num_shards)
+        reg.gauge("serve_router_busy_seconds",
+                  "Router busy clock").set(self.router_busy_s)
+        reg.gauge("exec_shm_bytes_mapped",
+                  "Shared-memory bytes mapped across workers").set(
+            self.backend.shm_bytes_mapped)
+        if self.max_inflight is not None:
+            reg.gauge("exec_inflight_limit",
+                      "Admission-control queue bound").set(
+                self.max_inflight)
+        for s, t in enumerate(self.transports):
+            label = str(s)
+            reg.counter("exec_rpc_roundtrips_total",
+                        "RPC round-trips per shard",
+                        shard=label).set_to(t.stats.roundtrips)
+            reg.counter("exec_rpc_bytes_sent_total",
+                        "Request payload bytes per shard",
+                        shard=label).set_to(t.stats.bytes_sent)
+            reg.counter("exec_rpc_bytes_received_total",
+                        "Reply payload bytes per shard",
+                        shard=label).set_to(t.stats.bytes_received)
+            reg.counter("exec_shm_rows_read_total",
+                        "Embedding rows read via shared memory",
+                        shard=label).set_to(t.stats.shm_rows_read)
+            reg.counter("shard_queries_total",
+                        "Queries routed to each shard",
+                        shard=label).set_to(
+                int(self._per_shard_queries[s]))
+        traffic = self.traffic
+        reg.counter("shard_halo_boundary_syncs_total").set_to(
+            traffic.boundary_syncs)
+        reg.counter("shard_halo_entrant_syncs_total").set_to(
+            traffic.entrant_syncs)
+        reg.counter("shard_halo_messages_total").set_to(traffic.messages)
+        reg.counter("shard_halo_rows_total",
+                    "Temporal-state rows shipped owner to ghost").set_to(
+            traffic.rows_shipped)
+        reg.counter("shard_halo_bytes_total",
+                    "Halo payload bytes shipped owner to ghost").set_to(
+            traffic.bytes_shipped)
+        for label in sorted(self._comm_bytes):
+            reg.counter("comm_bytes_total",
+                        "Cross-shard payload bytes by traffic class",
+                        label=label).set_to(self._comm_bytes[label])
+            reg.counter("comm_full_equivalent_bytes_total",
+                        "Bytes a non-delta-aware exchange would have "
+                        "shipped", label=label).set_to(
+                self._comm_full_bytes[label])
+
+    def stats(self) -> ExecStats:
+        now = self.clock()
+        elapsed = (now - self._started_at) if self._started_at is not None \
+            else 0.0
+        worker_stats, dead = self._fanout("stats", lambda s: ())
+        busy = tuple(worker_stats[s].busy_s
+                     for s in sorted(worker_stats))
+        return ExecStats(
+            counters=self.counters,
+            traffic=self.traffic,
+            num_shards=self.num_shards,
+            backend=self.backend.name,
+            per_shard_busy_s=busy,
+            router_busy_s=self.router_busy_s,
+            shm_bytes_mapped=self.backend.shm_bytes_mapped,
+            rpc_roundtrips=sum(t.stats.roundtrips for t in self.transports),
+            rpc_bytes_sent=sum(t.stats.bytes_sent for t in self.transports),
+            rpc_bytes_received=sum(t.stats.bytes_received
+                                   for t in self.transports),
+            latency_p50_ms=self.latency.p50,
+            latency_p95_ms=self.latency.p95,
+            latency_p99_ms=self.latency.p99,
+            elapsed_s=elapsed)

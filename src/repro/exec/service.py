@@ -1,0 +1,186 @@
+"""Worker-side RPC dispatch: one :class:`ShardWorker` behind a mailbox.
+
+A :class:`WorkerService` is the half of the execution tier that lives
+*with* the worker — in-process for the simulated backend, inside the
+spawned process for the multiprocessing backend.  It owns the worker's
+resident topology mirror and resolves each RPC's graph arguments:
+
+* with a :class:`Substrate` (simulated backend), the snapshot /
+  features / dinv are the router-published shared objects — zero-copy,
+  exactly today's in-process sharded tier;
+* without one (real worker), each ``apply_delta`` / rebase folds the GD
+  delta into the local mirror with :func:`~repro.graph.diff.apply_diff`
+  (checksum-verified, bit-exact) and re-derives the degree features
+  locally — the fold is genuine worker work and is charged to the
+  worker's busy clock.
+
+Both paths drive the *same* :class:`ShardWorker` numerics, which is the
+oracle-vs-real parity guarantee: the only difference between backends
+is who materializes the snapshot, and :func:`apply_diff` reconstructs
+it exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExecError
+from repro.graph.diff import apply_diff
+from repro.graph.snapshot import GraphSnapshot
+from repro.serve.engine import derive_serving_features
+from repro.serve.sharded.worker import ShardWorker
+from repro.exec.transport import WorkerBoot, WorkerStats
+
+__all__ = ["Substrate", "WorkerService"]
+
+
+class Substrate:
+    """Router-published shared simulation substrate (simulated backend).
+
+    Holds the one resident snapshot + derived features every in-process
+    worker reads — the memory-sharing fiction the simulated tier has
+    always used, made explicit so the RPC layer can swap it out."""
+
+    def __init__(self, snapshot: GraphSnapshot) -> None:
+        self.snapshot = snapshot
+        self.features, self.dinv = derive_serving_features(snapshot)
+
+    def publish(self, snapshot: GraphSnapshot, features: np.ndarray,
+                dinv: np.ndarray) -> None:
+        self.snapshot = snapshot
+        self.features = features
+        self.dinv = dinv
+
+
+class WorkerService:
+    """Hosts one shard worker and dispatches RPCs onto it."""
+
+    def __init__(self, boot: WorkerBoot, *, substrate: Substrate | None = None,
+                 maintainer=None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 on_embeddings: Callable[[], None] | None = None) -> None:
+        self.boot = boot
+        self.substrate = substrate
+        self.owner = np.asarray(boot.owner, dtype=np.int64)
+        self.shard_id = boot.shard_id
+        # the local resident mirror (real-worker path); the substrate
+        # path reads the shared snapshot instead and never touches these
+        self.resident = boot.snapshot
+        if boot.features is not None:
+            self._features, self._dinv = boot.features, boot.dinv
+        else:
+            self._features, self._dinv = derive_serving_features(
+                boot.snapshot)
+        self.worker = ShardWorker(
+            boot.shard_id, 0, boot.model, boot.snapshot, boot.block,
+            link_head=boot.link_head, fraud_head=boot.fraud_head,
+            k_hops=boot.k_hops, features=self._features, dinv=self._dinv,
+            maintainer=maintainer, clock=clock)
+        # backend hook run after every op that (re)writes embeddings —
+        # the mp backend uses it to keep the shared-memory embedding
+        # block bound to the engine's output array
+        self.on_embeddings = on_embeddings or (lambda: None)
+        self.on_embeddings()
+
+    # -- graph-argument resolution ----------------------------------------------------
+    def _fold(self, diff) -> None:
+        """Advance the local mirror by one GD delta (exact), re-deriving
+        degree features; charged to the worker's busy clock — a real
+        worker pays this fold, the substrate fiction never did."""
+        t0 = self.worker.clock()
+        self.resident = apply_diff(self.resident, diff)
+        self._features, self._dinv = derive_serving_features(self.resident)
+        self.worker.busy_s += self.worker.clock() - t0
+
+    def _resolved(self) -> tuple:
+        if self.substrate is not None:
+            sub = self.substrate
+            return sub.snapshot, sub.features, sub.dinv
+        return self.resident, self._features, self._dinv
+
+    # -- RPC surface (dispatch targets) -----------------------------------------------
+    def dispatch(self, method: str, args: tuple):
+        handler = getattr(self, f"rpc_{method}", None)
+        if handler is None:
+            raise ExecError(f"unknown RPC method {method!r}")
+        return handler(*args)
+
+    def rpc_begin_advance(self, snapshot, diff) -> None:
+        if self.substrate is None:
+            if diff is not None:
+                self._fold(diff)
+            elif snapshot is not None:
+                t0 = self.worker.clock()
+                self.resident = snapshot
+                self._features, self._dinv = derive_serving_features(
+                    snapshot)
+                self.worker.busy_s += self.worker.clock() - t0
+        snap, features, dinv = self._resolved()
+        self.worker.begin_advance(snap, features, dinv, diff=diff)
+
+    def rpc_finish_advance(self) -> int:
+        advanced = self.worker.finish_advance()
+        self.on_embeddings()
+        return advanced
+
+    def rpc_apply_delta(self, diff, dirty) -> tuple:
+        if self.substrate is None:
+            self._fold(diff)
+        snap, features, dinv = self._resolved()
+        entrants = self.worker.apply_delta(snap, features, dinv, dirty,
+                                           diff=diff)
+        covered = self.worker.engine.restrict_to_coverage(dirty)
+        ghost_dirty = int((self.owner[covered] != self.shard_id).sum())
+        return entrants, ghost_dirty
+
+    def rpc_refresh(self) -> int:
+        recomputed = self.worker.refresh()
+        self.on_embeddings()
+        return recomputed
+
+    def rpc_embedding_rows(self, rows) -> np.ndarray:
+        return self.worker.embedding_rows(rows)
+
+    def rpc_score(self, link_pairs, link_dst_rows, fraud_accounts) -> tuple:
+        return self.worker.score(link_pairs, link_dst_rows, fraud_accounts)
+
+    def rpc_halo_rows(self) -> np.ndarray:
+        return self.worker.engine.halo
+
+    def rpc_export_temporal(self, rows) -> list:
+        return self.worker.engine.export_temporal(rows)
+
+    def rpc_import_temporal(self, rows, payload) -> int:
+        return self.worker.engine.import_temporal(rows, payload)
+
+    def rpc_export_state(self) -> tuple:
+        engine = self.worker.engine
+        block = self.worker.engine.block
+        return (engine.export_state_rows(block),
+                np.array(engine.cache.dirty, copy=True),
+                int(engine.steps))
+
+    def rpc_adopt_state(self, exports, steps, dirty) -> None:
+        engine = self.worker.engine
+        engine.adopt_state(exports, steps)
+        if len(dirty):
+            engine.cache.mark_dirty(engine.restrict_to_coverage(dirty))
+        self.on_embeddings()
+
+    def rpc_stats(self) -> WorkerStats:
+        w = self.worker
+        return WorkerStats(busy_s=w.busy_s,
+                           rows_recomputed=w.rows_recomputed,
+                           rows_advanced=w.rows_advanced,
+                           queries_scored=w.queries_scored,
+                           deltas_applied=w.deltas_applied,
+                           coverage_rows=len(w.engine.coverage))
+
+    def rpc_ping(self) -> str:
+        return "pong"
+
+    def rpc_debug_sleep(self, seconds: float) -> None:
+        time.sleep(seconds)

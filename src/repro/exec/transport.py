@@ -1,0 +1,188 @@
+"""The transport-agnostic worker RPC boundary.
+
+The sharded tier's router/worker split was designed as a message
+protocol (deltas and pre-expanded dirty frontiers in, entrant rows and
+scores out) but executed as plain method calls.  This module names that
+protocol: a :class:`WorkerTransport` is one shard worker reachable
+through ``submit``/``result`` — submit posts an RPC and returns
+immediately, result blocks for the reply — so a router can *pipeline* a
+fan-out (submit to every shard, then collect) regardless of whether the
+worker lives in this process (:mod:`repro.exec.simulated`, the
+deterministic oracle) or in its own OS process over pipes and shared
+memory (:mod:`repro.exec.mp`).
+
+The RPC surface is deliberately the :class:`ShardWorker` verb set —
+``begin_advance`` / ``finish_advance`` / ``apply_delta`` / ``refresh``
+/ ``embedding_rows`` / ``score`` / ``import_temporal`` — plus the
+state-transplant verbs recovery needs.  Payloads are GD deltas and row
+sets, never snapshots: a real worker folds each delta into its own
+resident mirror (:func:`~repro.graph.diff.apply_diff` is exact), which
+is what keeps the wire O(delta) and the two backends bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecError
+from repro.graph.snapshot import GraphSnapshot
+from repro.models.base import DynamicGNN
+from repro.nn.linear import EdgeScorer, Linear
+
+__all__ = ["WorkerBoot", "TransportStats", "WorkerStats",
+           "WorkerTransport"]
+
+
+@dataclass
+class WorkerBoot:
+    """Everything needed to construct one shard worker from scratch.
+
+    Shipped once at spawn time (for the multiprocessing backend the
+    array members travel through shared memory, not the pipe).  The
+    ``owner`` array doubles as the worker's routing oracle: the block it
+    serves is ``flatnonzero(owner == shard_id)`` and ghost-row
+    accounting needs the full map.
+    """
+
+    shard_id: int
+    model: DynamicGNN
+    snapshot: GraphSnapshot
+    owner: np.ndarray
+    num_shards: int
+    k_hops: int | None = None
+    link_head: EdgeScorer | None = None
+    fraud_head: Linear | None = None
+    features: np.ndarray | None = None
+    dinv: np.ndarray | None = None
+
+    @property
+    def block(self) -> np.ndarray:
+        return np.flatnonzero(
+            np.asarray(self.owner, dtype=np.int64) == self.shard_id)
+
+
+@dataclass
+class TransportStats:
+    """Wire-level accounting for one transport (router side)."""
+
+    roundtrips: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    send_seconds: float = 0.0
+    shm_rows_read: int = 0         # embedding rows read via shared memory
+    shm_bytes_read: int = 0
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Worker-side counters fetched over RPC (point in time)."""
+
+    busy_s: float = 0.0
+    rows_recomputed: int = 0
+    rows_advanced: int = 0
+    queries_scored: int = 0
+    deltas_applied: int = 0
+    coverage_rows: int = 0
+
+
+class WorkerTransport:
+    """One shard worker reachable through submit/result RPC.
+
+    Subclasses implement :meth:`submit` (post one RPC; never blocks on
+    the worker's execution) and :meth:`result` (block for the pending
+    reply).  At most one RPC may be pending per transport — the router
+    pipelines across *shards*, not within one worker, which keeps every
+    worker single-threaded and deterministic.
+
+    The typed wrappers below are the protocol: routers call these, so
+    method-name typos die at the call site rather than in a worker
+    process.
+    """
+
+    shard_id: int
+    stats: TransportStats
+
+    def submit(self, method: str, *args) -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+    def call(self, method: str, *args):
+        self.submit(method, *args)
+        return self.result()
+
+    # -- lifecycle ------------------------------------------------------------------
+    def begin_advance(self, snapshot: GraphSnapshot | None,
+                      diff=None) -> None:
+        """Cross into a timestep boundary: settle, optionally rebase
+        onto ``snapshot`` (or fold the rebase ``diff``), promote
+        carries.  Pipelined by the router; the reply is collected before
+        the halo sync."""
+        return self.call("begin_advance", snapshot, diff)
+
+    def finish_advance(self) -> int:
+        """Recompute the covered rows; returns how many were computed."""
+        return self.call("finish_advance")
+
+    def apply_delta(self, diff, dirty: np.ndarray) -> tuple:
+        """Fold one commit's GD delta + pre-expanded dirty frontier into
+        the worker's mirror.  Returns ``(entrant_rows, ghost_dirty)``."""
+        return self.call("apply_delta", diff, dirty)
+
+    def refresh(self) -> int:
+        """Recompute the worker's dirty covered rows; returns the count."""
+        return self.call("refresh")
+
+    # -- reads ----------------------------------------------------------------------
+    def embedding_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Served embedding rows (backends may satisfy this from a
+        shared-memory mapping instead of an RPC round-trip)."""
+        return self.call("embedding_rows", rows)
+
+    def score(self, link_pairs: np.ndarray, link_dst_rows: np.ndarray,
+              fraud_accounts: np.ndarray) -> tuple:
+        return self.call("score", link_pairs, link_dst_rows,
+                         fraud_accounts)
+
+    # -- halo / temporal state -------------------------------------------------------
+    def halo_rows(self) -> np.ndarray:
+        return self.call("halo_rows")
+
+    def export_temporal(self, rows: np.ndarray) -> list:
+        return self.call("export_temporal", rows)
+
+    def import_temporal(self, rows: np.ndarray, payload: list) -> int:
+        return self.call("import_temporal", rows, payload)
+
+    # -- state transplant (capture / recovery) ---------------------------------------
+    def export_state(self) -> tuple:
+        """(owned-row state export, dirty rows, steps) for captures."""
+        return self.call("export_state")
+
+    def adopt_state(self, exports: list, steps: int,
+                    dirty: np.ndarray) -> None:
+        return self.call("adopt_state", exports, steps, dirty)
+
+    # -- introspection / liveness ----------------------------------------------------
+    def worker_stats(self) -> WorkerStats:
+        return self.call("stats")
+
+    def ping(self, timeout: float | None = None) -> bool:
+        """Heartbeat: True iff the worker answered within ``timeout``."""
+        raise NotImplementedError
+
+    @property
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the worker (terminate its process, if it has one)."""
+
+    # -- debug / fault injection (tests) ----------------------------------------------
+    def debug_exit(self) -> None:
+        """Ask the worker to die abruptly (no reply).  In-process
+        backends mark themselves dead instead."""
+        raise ExecError("this transport cannot simulate a crash")

@@ -86,6 +86,9 @@ class PendingQuery:
     done: bool = False
     result: float | None = None
     latency_ms: float = float("nan")
+    # set by admission control (exec tier): the query was rejected at
+    # submit time to protect latency; ``done`` is True, ``result`` None
+    shed: bool = False
 
     def _resolve(self, value: float, now: float) -> None:
         self.result = float(value)

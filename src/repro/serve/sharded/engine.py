@@ -125,11 +125,12 @@ class ShardEngine(InferenceEngine):
     # promote, then ghosts sync, then all shards compute).
     def begin_advance(self, snapshot: GraphSnapshot | None = None, *,
                       features: np.ndarray | None = None,
-                      dinv: np.ndarray | None = None) -> None:
+                      dinv: np.ndarray | None = None,
+                      diff=None) -> None:
         self._settle()  # every replica, not just the ones that served
         if snapshot is not None:
             self.set_snapshot(snapshot, seeds=None, features=features,
-                              dinv=dinv)
+                              dinv=dinv, diff=diff)
         self.rebuild_halo()
         if self._primed:
             self._promote_carries()

@@ -68,15 +68,18 @@ class ShardWorker:
 
     # -- lifecycle --------------------------------------------------------------------
     def begin_advance(self, snapshot: GraphSnapshot, features: np.ndarray,
-                      dinv: np.ndarray) -> None:
+                      dinv: np.ndarray, diff=None) -> None:
         t0 = self.clock()
-        self.engine.begin_advance(snapshot, features=features, dinv=dinv)
+        self.engine.begin_advance(snapshot, features=features, dinv=dinv,
+                                  diff=diff)
         self._charge(t0)
 
-    def finish_advance(self) -> None:
+    def finish_advance(self) -> int:
         t0 = self.clock()
-        self.rows_advanced += self.engine.finish_advance()
+        advanced = self.engine.finish_advance()
+        self.rows_advanced += advanced
         self._charge(t0)
+        return advanced
 
     def apply_delta(self, snapshot: GraphSnapshot, features: np.ndarray,
                     dinv: np.ndarray, dirty: np.ndarray,

@@ -29,7 +29,8 @@ import numpy as np
 from repro.errors import StoreError
 
 __all__ = ["capture_engine_state", "restore_engine_state",
-           "capture_sharded_state", "unpack_sharded_state"]
+           "capture_sharded_state", "unpack_sharded_state",
+           "pack_shard_export", "unpack_shard_export"]
 
 
 def _copy(a: np.ndarray) -> np.ndarray:
@@ -185,6 +186,13 @@ def _unpack_export(prefix: str, kind: str, num_layers: int,
             arrays[f"{prefix}/current_y/{i}"] if present else None
             for i, present in enumerate(meta_shard["current_y_present"])]
     return state
+
+
+# public aliases: the exec tier assembles sharded captures from RPC
+# exports worker by worker, so it needs the per-shard (en|de)coders —
+# same wire format as the in-process sharded capture above
+pack_shard_export = _pack_export
+unpack_shard_export = _unpack_export
 
 
 def capture_sharded_state(server) -> tuple[dict, dict[str, np.ndarray]]:

@@ -827,6 +827,7 @@ class DistributedTrainer:
         collect_epoch_metrics(self.telemetry, result,
                               self.reuse.stats if self.reuse is not None
                               else None)
+        self.cluster.comm.collect_metrics(self.telemetry.registry)
         return result
 
     def _charge_backward_mixed(self, fwd_compute: list[float],

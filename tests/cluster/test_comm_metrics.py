@@ -1,0 +1,52 @@
+"""Communicator volume ledger exported as labeled registry counters."""
+
+import numpy as np
+
+from repro.cluster import ClusterSpec, Communicator, RankClock
+from repro.obs import MetricsRegistry
+
+
+def make_comm(p, gpus_per_node=8):
+    nodes = max(1, -(-p // gpus_per_node))
+    spec = ClusterSpec.aimos(num_nodes=nodes,
+                             gpus_per_node=p if nodes == 1 else gpus_per_node)
+    clocks = [RankClock(r) for r in range(p)]
+    return Communicator(spec, clocks), clocks
+
+
+def test_collect_metrics_mirrors_volume_ledger():
+    comm, _ = make_comm(4)
+    comm.all_reduce_sum([np.ones(64) for _ in range(4)], label="gradient")
+    comm.all_to_all_bytes(np.full((4, 4), 100.0), label="redistribution")
+    reg = MetricsRegistry()
+    comm.collect_metrics(reg)
+    assert reg.value("comm_bytes_total", label="gradient") == \
+        comm.volume_bytes("gradient")
+    assert reg.value("comm_bytes_total", label="redistribution") == \
+        comm.volume_bytes("redistribution")
+    assert reg.value("comm_full_equivalent_bytes_total",
+                     label="gradient") == \
+        comm.full_equivalent_bytes("gradient")
+    # labels partition the total exactly
+    total = (reg.value("comm_bytes_total", label="gradient")
+             + reg.value("comm_bytes_total", label="redistribution"))
+    assert total == comm.volume_bytes()
+
+
+def test_collect_metrics_is_idempotent_set_not_add():
+    """Export-time sync mirrors the ledger; calling it twice must not
+    double-count (counters are set_to, not inc)."""
+    comm, _ = make_comm(2)
+    comm.all_reduce_sum([np.ones(16) for _ in range(2)], label="gradient")
+    reg = MetricsRegistry()
+    comm.collect_metrics(reg)
+    first = reg.value("comm_bytes_total", label="gradient")
+    comm.collect_metrics(reg)
+    assert reg.value("comm_bytes_total", label="gradient") == first
+
+
+def test_collect_metrics_with_no_events_exports_nothing():
+    comm, _ = make_comm(2)
+    reg = MetricsRegistry()
+    comm.collect_metrics(reg)
+    assert reg.value("comm_bytes_total", label="gradient") == 0.0

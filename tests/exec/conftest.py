@@ -1,0 +1,46 @@
+"""Shared fixtures for the execution-tier tests.
+
+Every test in this directory runs under a hard wall-clock alarm: the
+multiprocessing backend's failure modes (hung worker, dropped pipe,
+orphaned segment) can otherwise wedge a test run forever, and CI runs
+this directory with real worker processes.
+"""
+
+import signal
+
+import pytest
+
+from repro.graph import AMLSimConfig, generate_amlsim
+
+TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def per_test_alarm():
+    """SIGALRM-based per-test timeout (pytest-timeout without the
+    plugin; main-thread only, which is how this suite runs)."""
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"exec test exceeded {TEST_TIMEOUT_S}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A 20-timestep AML-Sim world, small enough that a full-stream
+    replay with real worker processes stays in seconds."""
+    config = AMLSimConfig(num_accounts=120, num_timesteps=20,
+                          background_per_step=200,
+                          partner_persistence=0.8, num_fan_out=2,
+                          num_fan_in=2, num_cycles=1,
+                          num_scatter_gather=1, pattern_size=4,
+                          num_branches=4, branch_locality=0.7, seed=5)
+    return generate_amlsim(config)

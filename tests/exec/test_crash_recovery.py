@@ -1,0 +1,160 @@
+"""Crash recovery: dead workers revive bit-exact from capture + WAL.
+
+Two recovery scopes are under test:
+
+* **worker revival** (:meth:`ExecRouter._revive`) — one worker dies
+  mid-stream (``debug_exit`` = ``os._exit`` in the real backend, no
+  shutdown handshake); the router respawns it from the latest engine
+  capture and replays the WAL tail through it.  The tier's subsequent
+  outputs must equal an uninterrupted run's exactly.
+* **tier recovery** (:meth:`ExecRouter.recover`) — the crash-mid-commit
+  case: events are WAL-appended but the router dies before processing
+  or acking them.  A recovered tier replays the tail and must match an
+  uninterrupted tier bit for bit.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecError, WorkerDeadError
+from repro.exec import ExecRouter
+from repro.models import build_model
+from repro.nn.linear import Linear
+from repro.serve import events_between
+from repro.store import GraphStore
+
+BACKENDS = ["simulated", "multiprocess"]
+
+
+def make_router(world, backend, store_path=None):
+    model = build_model("cdgcn", in_features=2, seed=0)
+    fraud = Linear(model.embed_dim, 2, np.random.default_rng(9))
+    router = ExecRouter(model, world.dtdg[0], backend=backend,
+                        num_shards=2, fraud_head=fraud, max_batch_size=4)
+    if store_path is not None:
+        router.attach_store(GraphStore.create(
+            store_path, num_vertices=world.dtdg[0].num_vertices))
+    return router
+
+
+def stream(world, t):
+    return events_between(world.dtdg[t - 1], world.dtdg[t])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_worker_revives_bit_exact_mid_stream(world, backend, tmp_path):
+    """Kill one worker between event batches; the next fan-out revives
+    it and the tier's embeddings match an uninterrupted run exactly."""
+
+    def run(path, crash):
+        router = make_router(world, backend, store_path=path)
+        events = stream(world, 1)
+        half = len(events) // 2
+        router.ingest_events(events[:half])
+        if crash:
+            router.transports[1].debug_exit()
+            assert not router.transports[1].alive
+        router.ingest_events(events[half:])
+        q = router.submit_link(0, 119)
+        router.drain()
+        emb = router.gathered_embeddings()
+        restarts = router.counters.worker_restarts
+        router.close()
+        return q.result, emb, restarts
+
+    s0, e0, r0 = run(tmp_path / "clean", crash=False)
+    s1, e1, r1 = run(tmp_path / "crash", crash=True)
+    assert (r0, r1) == (0, 1)
+    assert s0 == s1
+    assert float(np.abs(e0 - e1).max()) == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_crash_after_wal_append_recovers_bit_exact(world, backend,
+                                                   tmp_path):
+    """Crash-mid-commit: the WAL holds an appended-but-unacked batch
+    when the tier dies.  ``recover()`` must replay it and land on the
+    exact state an uninterrupted tier reaches."""
+    path = str(tmp_path / "store")
+    router = make_router(world, backend, store_path=path)
+    router.ingest_events(stream(world, 1))
+    router.advance_time(world.dtdg[1])
+    events = stream(world, 2)
+    half = len(events) // 2
+    router.ingest_events(events[:half])
+    # the crash: batch reaches the WAL, no worker ever processes it
+    router.store.append_events(events[half:])
+    router.close()
+
+    model = build_model("cdgcn", in_features=2, seed=0)
+    fraud = Linear(model.embed_dim, 2, np.random.default_rng(9))
+    recovered = ExecRouter.recover(GraphStore.open(path), model=model,
+                                   backend=backend, fraud_head=fraud,
+                                   max_batch_size=4)
+    e_rec = recovered.gathered_embeddings()
+    q = recovered.submit_link(0, 119)
+    recovered.drain()
+    recovered.close()
+
+    reference = make_router(world, backend,
+                            store_path=str(tmp_path / "ref"))
+    reference.ingest_events(stream(world, 1))
+    reference.advance_time(world.dtdg[1])
+    reference.ingest_events(events[:half])
+    reference.ingest_events(events[half:])
+    e_ref = reference.gathered_embeddings()
+    q_ref = reference.submit_link(0, 119)
+    reference.drain()
+    reference.close()
+
+    assert float(np.abs(e_rec - e_ref).max()) == 0.0
+    assert q.result == q_ref.result
+
+
+def test_revival_survives_queries_in_flight(world, tmp_path):
+    """A worker that dies between a flush's refresh and score RPCs is
+    revived and the batch retried — queries still resolve, and they
+    resolve to the uninterrupted run's exact scores."""
+    router = make_router(world, "multiprocess",
+                         store_path=str(tmp_path / "s"))
+    router.ingest_events(stream(world, 1))
+    router.transports[0].debug_exit()
+    q = router.submit_link(0, 119)
+    router.drain()                     # flush hits the dead worker
+    assert q.done and q.result is not None
+    assert router.counters.worker_restarts == 1
+    router.close()
+
+    clean = make_router(world, "multiprocess",
+                        store_path=str(tmp_path / "ref"))
+    clean.ingest_events(stream(world, 1))
+    q_ref = clean.submit_link(0, 119)
+    clean.drain()
+    clean.close()
+    assert q.result == q_ref.result
+
+
+def test_revival_requires_a_store(world):
+    router = make_router(world, "simulated")
+    router.transports[1].debug_exit()
+    with pytest.raises(WorkerDeadError):
+        router.ingest_events(stream(world, 1))
+    router.close()
+
+
+def test_boundary_crossing_tail_demands_tier_recovery(world, tmp_path):
+    """Worker revival replays event batches only; if the WAL tail since
+    the last capture crosses a timestep boundary, the router refuses
+    and directs to recover() (state_interval > 1 creates such tails)."""
+    router = make_router(world, "simulated",
+                         store_path=str(tmp_path / "s"))
+    # captures only every 3 boundaries: the tail now spans a boundary
+    router._store_state_interval = 3
+    router.ingest_events(stream(world, 1))
+    router.advance_time(world.dtdg[1])
+    router.transports[0].debug_exit()
+    with pytest.raises(ExecError):
+        router.ingest_events(stream(world, 2))
+    router.close()
