@@ -195,6 +195,7 @@ def run_exec_benchmark(config: ExecWorkloadConfig | None = None,
 
     points = []
     num_queries = 0
+    dashboard_text = None
     reps = max(1, config.measure_reps)
     for n in config.shard_counts:
         # real overlap: pipelined fan-out, end-to-end wall clock
@@ -204,6 +205,23 @@ def run_exec_benchmark(config: ExecWorkloadConfig | None = None,
             piped = boot("multiprocess", n, pipeline=True)
             real_wall = min(real_wall, _replay(piped, schedule, plan))
             mp_embeddings = piped.gathered_embeddings()
+            if n == max(config.shard_counts):
+                # live cluster view off the real processes: harvested
+                # worker registries + SLO verdicts, shipped as a report
+                slo = piped.attach_slo()
+                slo.quantile("p99-latency-ms", "serve_latency_ms",
+                             q=99.0,
+                             threshold=config.flush_latency_ms * 4)
+                slo.ratio("shed-rate", "serve_queries_shed_total",
+                          "serve_queries_submitted_total",
+                          threshold=0.01)
+                slo.ratio("heartbeat-miss",
+                          "serve_heartbeat_failures_total",
+                          "serve_heartbeats_total", threshold=0.01)
+                dashboard_text = piped.dashboard(
+                    title=(f"exec tier: {config.model} "
+                           f"N={config.num_accounts} "
+                           f"({n} worker processes)"))
             piped.close()
 
         # clean busy clocks: one worker at a time, stats deltas give
@@ -265,6 +283,8 @@ def run_exec_benchmark(config: ExecWorkloadConfig | None = None,
                    f"{result.real_wall_ratio:.2f}x, max divergence "
                    f"{result.max_abs_divergence:.2e})"))
         write_report(report_name, table)
+        if dashboard_text is not None:
+            write_report("exec_dashboard", dashboard_text)
         write_bench_json("exec", {
             "workload": {
                 "model": config.model,

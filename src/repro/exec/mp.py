@@ -73,14 +73,19 @@ def _worker_main(conn, boot: WorkerBoot, manifest: dict) -> None:
     conn.send_bytes(pickle.dumps(("ok", ("ready", mapped))))
     try:
         while True:
-            method, args = pickle.loads(conn.recv_bytes())
+            # envelope: (method, args) untraced — byte-identical to the
+            # pre-tracing wire — or (method, args, trace_ctx) when the
+            # router carries a trace context
+            msg = pickle.loads(conn.recv_bytes())
+            method, args = msg[0], msg[1]
+            ctx = msg[2] if len(msg) > 2 else None
             if method == "shutdown":
                 conn.send_bytes(pickle.dumps(("ok", None)))
                 break
             if method == "debug_exit":
                 os._exit(17)  # crash simulation: no reply, no cleanup
             try:
-                out = service.dispatch(method, args)
+                out = service.dispatch(method, args, ctx)
                 reply = ("ok", out)
             except Exception as exc:
                 reply = ("err", (type(exc).__name__, str(exc)))
@@ -123,7 +128,11 @@ class ProcessTransport(WorkerTransport):
         if not self.alive:
             raise WorkerDeadError(
                 f"shard {self.shard_id} worker process is dead")
-        payload = pickle.dumps((method, args))
+        # tracing off => ctx is None and the wire stays the plain
+        # (method, args) 2-tuple: zero envelope overhead on the hot path
+        ctx = self._trace_context()
+        payload = pickle.dumps((method, args) if ctx is None
+                               else (method, args, ctx))
         t0 = time.perf_counter()
         try:
             self.conn.send_bytes(payload)

@@ -202,6 +202,15 @@ class ExecRouter(QueryFrontend):
         self._comm_bytes: dict = defaultdict(int)
         self._comm_full_bytes: dict = defaultdict(int)
 
+        # router-observed RPC round-trip latency, one histogram per
+        # shard (cached: _fanout records on every RPC)
+        self._rpc_latency = [
+            self.telemetry.registry.histogram(
+                "exec_rpc_latency_ms",
+                "Router-observed RPC round-trip latency",
+                shard=str(s))
+            for s in range(plan.num_shards)]
+
         self.backend = _resolve_backend(backend)
         self.backend.attach(snapshot)
         features, dinv = derive_serving_features(snapshot)
@@ -212,8 +221,10 @@ class ExecRouter(QueryFrontend):
                               k_hops=self.k_hops, link_head=link_head,
                               fraud_head=fraud_head, features=features,
                               dinv=dinv)
-            self.transports.append(self.backend.spawn(boot,
-                                                      clock=self.clock))
+            transport = self.backend.spawn(boot, clock=self.clock)
+            # RPCs carry the router's trace context once tracing is on
+            transport.tracer = self.telemetry.tracer
+            self.transports.append(transport)
         self._advance()  # prime embeddings for the initial snapshot
 
     # -- introspection ---------------------------------------------------------------
@@ -259,8 +270,10 @@ class ExecRouter(QueryFrontend):
                                   shards=len(shards)):
             if self.pipeline:
                 submitted = []
+                t0 = {}
                 for s in shards:
                     try:
+                        t0[s] = self.clock()
                         self.transports[s].submit(method, *args_fn(s))
                         submitted.append(s)
                     except (WorkerDeadError, WorkerTimeoutError):
@@ -268,13 +281,18 @@ class ExecRouter(QueryFrontend):
                 for s in submitted:
                     try:
                         results[s] = self.transports[s].result()
+                        self._rpc_latency[s].observe(
+                            (self.clock() - t0[s]) * 1e3)
                     except (WorkerDeadError, WorkerTimeoutError):
                         dead.append(s)
             else:
                 for s in shards:
+                    t0 = self.clock()
                     try:
                         results[s] = self.transports[s].call(
                             method, *args_fn(s))
+                        self._rpc_latency[s].observe(
+                            (self.clock() - t0) * 1e3)
                     except (WorkerDeadError, WorkerTimeoutError):
                         dead.append(s)
         return results, dead
@@ -326,7 +344,8 @@ class ExecRouter(QueryFrontend):
 
     def tick(self) -> int:
         """Event-loop hook: heartbeat on schedule (reviving any dead
-        worker), then the inherited latency-budget flush check."""
+        worker, then draining worker telemetry on the same cadence),
+        then the inherited latency-budget flush check."""
         if self.heartbeat_interval_s is not None:
             now = self.clock()
             if self._last_heartbeat is None or \
@@ -334,7 +353,32 @@ class ExecRouter(QueryFrontend):
                 self._last_heartbeat = now
                 for s in self.heartbeat():
                     self._revive(s)
+                self.harvest_telemetry()
         return super().tick()
+
+    # -- worker-telemetry harvest ------------------------------------------------------
+    def harvest_telemetry(self) -> int:
+        """Drain every live worker's registry and finished spans into
+        the router's telemetry: series merge under ``worker=<id>``
+        labels (counters sum, gauges last-write, histograms union —
+        see :meth:`MetricsRegistry.merge`) and worker spans graft into
+        the router's span trees beneath the ``exec.rpc`` spans that
+        caused them.  Safe to call at any cadence: harvests are
+        delta-encoded and deduplicated by (source, seq), so nothing
+        double-counts.  Returns the number of series updated."""
+        updated = 0
+        for s, transport in enumerate(self.transports):
+            if not transport.alive:
+                continue
+            try:
+                harvest, spans = transport.telemetry()
+            except (WorkerDeadError, WorkerTimeoutError):
+                continue
+            updated += self.telemetry.registry.merge(
+                harvest, labels={"worker": str(s)})
+            if spans:
+                self.telemetry.tracer.graft(spans)
+        return updated
 
     # -- ingestion --------------------------------------------------------------------
     def ingest_events(self, events: Iterable[EdgeEvent]) -> int:
@@ -643,6 +687,7 @@ class ExecRouter(QueryFrontend):
         # solo: the revived worker folds deltas into a private mirror —
         # it must not rebuild a shared substrate to its older resident
         transport = self.backend.spawn(boot, solo=True, clock=self.clock)
+        transport.tracer = self.telemetry.tracer
         self.transports[shard] = transport
         transport.adopt_state(exports, int(meta["steps"]), dirty)
         entrants = _EMPTY
@@ -663,6 +708,10 @@ class ExecRouter(QueryFrontend):
 
     # -- observability ----------------------------------------------------------------
     def _collect_tier_metrics(self, reg) -> None:
+        # fold in the latest worker-side telemetry first, so one
+        # prometheus()/dashboard() call on the router exports the whole
+        # cluster (worker series appear under worker=<id> labels)
+        self.harvest_telemetry()
         reg.gauge("exec_shard_count", "Workers in the tier").set(
             self.num_shards)
         reg.gauge("serve_router_busy_seconds",

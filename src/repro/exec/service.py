@@ -30,9 +30,10 @@ import numpy as np
 from repro.errors import ExecError
 from repro.graph.diff import apply_diff
 from repro.graph.snapshot import GraphSnapshot
+from repro.obs import Telemetry
 from repro.serve.engine import derive_serving_features
 from repro.serve.sharded.worker import ShardWorker
-from repro.exec.transport import WorkerBoot, WorkerStats
+from repro.exec.transport import WorkerBoot, WorkerStats, payload_nbytes
 
 __all__ = ["Substrate", "WorkerService"]
 
@@ -61,11 +62,21 @@ class WorkerService:
     def __init__(self, boot: WorkerBoot, *, substrate: Substrate | None = None,
                  maintainer=None,
                  clock: Callable[[], float] = time.perf_counter,
-                 on_embeddings: Callable[[], None] | None = None) -> None:
+                 on_embeddings: Callable[[], None] | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         self.boot = boot
         self.substrate = substrate
         self.owner = np.asarray(boot.owner, dtype=np.int64)
         self.shard_id = boot.shard_id
+        # the worker's own telemetry: its registry is harvested (and
+        # its finished spans shipped) through the `telemetry` RPC verb;
+        # node/source name this worker in span ids / harvest envelopes
+        self.telemetry = telemetry if telemetry is not None else \
+            Telemetry(node=f"worker{boot.shard_id}",
+                      source=f"worker{boot.shard_id}")
+        # per-verb RPC accounting (cheap load signal, see rpc_stats)
+        self.rpc_calls: dict[str, int] = {}
+        self.rpc_payload_bytes: dict[str, int] = {}
         # the local resident mirror (real-worker path); the substrate
         # path reads the shared snapshot instead and never touches these
         self.resident = boot.snapshot
@@ -102,11 +113,30 @@ class WorkerService:
         return self.resident, self._features, self._dinv
 
     # -- RPC surface (dispatch targets) -----------------------------------------------
-    def dispatch(self, method: str, args: tuple):
+    def dispatch(self, method: str, args: tuple, ctx: tuple | None = None):
+        """Serve one RPC.  ``ctx`` is the caller's trace context (a
+        ``(trace_id, span_id)`` envelope); when present the handler
+        runs under a ``worker.rpc`` > ``worker.<method>`` span pair
+        parented beneath the router's ``exec.rpc`` span, and the
+        finished spans ship back on the next telemetry drain."""
         handler = getattr(self, f"rpc_{method}", None)
         if handler is None:
             raise ExecError(f"unknown RPC method {method!r}")
-        return handler(*args)
+        self.rpc_calls[method] = self.rpc_calls.get(method, 0) + 1
+        self.rpc_payload_bytes[method] = \
+            self.rpc_payload_bytes.get(method, 0) + payload_nbytes(args)
+        if ctx is None:
+            return handler(*args)
+        tracer = self.telemetry.tracer
+        was_enabled = tracer.enabled
+        tracer.enabled = True  # the caller traces, so this worker does
+        try:
+            with tracer.trace("worker.rpc", parent=ctx, method=method,
+                              shard=self.shard_id):
+                with tracer.trace(f"worker.{method}"):
+                    return handler(*args)
+        finally:
+            tracer.enabled = was_enabled
 
     def rpc_begin_advance(self, snapshot, diff) -> None:
         if self.substrate is None:
@@ -177,7 +207,47 @@ class WorkerService:
                            rows_advanced=w.rows_advanced,
                            queries_scored=w.queries_scored,
                            deltas_applied=w.deltas_applied,
-                           coverage_rows=len(w.engine.coverage))
+                           coverage_rows=len(w.engine.coverage),
+                           rpc_calls=dict(self.rpc_calls),
+                           rpc_payload_bytes=dict(self.rpc_payload_bytes))
+
+    def _sync_worker_metrics(self) -> None:
+        """Fold the authoritative plain counters into the worker's own
+        registry (export-time sync, same discipline as the serving
+        tiers — nothing double-counts on a hot path)."""
+        reg = self.telemetry.registry
+        w = self.worker
+        reg.gauge("worker_busy_seconds",
+                  "Worker busy clock (perf_counter inside the "
+                  "process)").set(w.busy_s)
+        reg.counter("worker_rows_recomputed_total").set_to(
+            w.rows_recomputed)
+        reg.counter("worker_rows_advanced_total").set_to(w.rows_advanced)
+        reg.counter("worker_queries_scored_total").set_to(
+            w.queries_scored)
+        reg.counter("worker_deltas_applied_total").set_to(
+            w.deltas_applied)
+        reg.gauge("worker_coverage_rows",
+                  "Rows this worker covers (owned + halo)").set(
+            len(w.engine.coverage))
+        for verb in sorted(self.rpc_calls):
+            reg.counter("worker_rpc_calls_total",
+                        "RPCs served, by verb",
+                        verb=verb).set_to(self.rpc_calls[verb])
+            reg.counter("worker_rpc_payload_bytes_total",
+                        "Request payload bytes served, by verb",
+                        verb=verb).set_to(
+                self.rpc_payload_bytes.get(verb, 0))
+
+    def rpc_telemetry(self) -> tuple:
+        """Drain this worker's telemetry: a delta-encoded registry
+        harvest plus the finished span trees (wire form).  The current
+        `telemetry` call is already counted in ``rpc_calls`` (dispatch
+        increments before the handler runs), so consecutive harvests
+        stay consistent on both backends."""
+        self._sync_worker_metrics()
+        return (self.telemetry.registry.harvest(),
+                self.telemetry.tracer.drain_finished())
 
     def rpc_ping(self) -> str:
         return "pong"

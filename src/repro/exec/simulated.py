@@ -27,19 +27,13 @@ from repro.errors import WorkerDeadError
 from repro.graph.inc_laplacian import LaplacianMaintainer
 from repro.graph.snapshot import GraphSnapshot
 from repro.exec.service import Substrate, WorkerService
-from repro.exec.transport import TransportStats, WorkerBoot, WorkerTransport
+from repro.exec.transport import TransportStats, WorkerBoot, \
+    WorkerTransport, payload_nbytes
 
 __all__ = ["LocalTransport", "SimulatedBackend"]
 
-
-def _payload_nbytes(obj) -> int:
-    """Approximate wire bytes of an RPC argument (array payloads
-    dominate; scalars and None count zero)."""
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    if isinstance(obj, (list, tuple)):
-        return sum(_payload_nbytes(o) for o in obj)
-    return 0
+# back-compat alias: the shared measure now lives with the protocol
+_payload_nbytes = payload_nbytes
 
 
 class LocalTransport(WorkerTransport):
@@ -63,9 +57,10 @@ class LocalTransport(WorkerTransport):
         if self._dead:
             raise WorkerDeadError(f"shard {self.shard_id} worker is dead")
         self.stats.roundtrips += 1
-        self.stats.bytes_sent += _payload_nbytes(args)
+        self.stats.bytes_sent += payload_nbytes(args)
         try:
-            out = self.service.dispatch(method, args)
+            out = self.service.dispatch(method, args,
+                                        self._trace_context())
             self._pending = ("ok", out)
         except Exception as exc:  # parked, re-raised at result()
             self._pending = ("err", exc)
@@ -78,7 +73,7 @@ class LocalTransport(WorkerTransport):
         self._pending = None
         if status == "err":
             raise out
-        self.stats.bytes_received += _payload_nbytes(out)
+        self.stats.bytes_received += payload_nbytes(out)
         return out
 
     def ping(self, timeout: float | None = None) -> bool:

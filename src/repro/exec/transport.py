@@ -32,7 +32,25 @@ from repro.models.base import DynamicGNN
 from repro.nn.linear import EdgeScorer, Linear
 
 __all__ = ["WorkerBoot", "TransportStats", "WorkerStats",
-           "WorkerTransport"]
+           "WorkerTransport", "payload_nbytes"]
+
+
+def payload_nbytes(obj) -> int:
+    """Deterministic wire-cost measure of an RPC payload: array bytes
+    (``ndarray.nbytes``), recursing through lists/tuples, plus any
+    object that knows its own ``payload_nbytes`` (a
+    :class:`~repro.graph.diff.SnapshotDiff`).  Scalars and ``None``
+    count zero.  Both backends charge payloads through this — *not*
+    through pickle length — so byte counters match bit for bit between
+    the simulated oracle and real worker processes."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(o) for o in obj)
+    own = getattr(obj, "payload_nbytes", None)
+    if own is not None:
+        return int(own)
+    return 0
 
 
 @dataclass
@@ -77,7 +95,12 @@ class TransportStats:
 
 @dataclass(frozen=True)
 class WorkerStats:
-    """Worker-side counters fetched over RPC (point in time)."""
+    """Worker-side counters fetched over RPC (point in time).
+
+    ``rpc_calls`` / ``rpc_payload_bytes`` break the worker's served
+    RPCs down per verb (``{"refresh": 12, ...}``; bytes measured by
+    :func:`payload_nbytes`) — liveness polling doubles as a cheap load
+    signal even when full telemetry harvesting is off."""
 
     busy_s: float = 0.0
     rows_recomputed: int = 0
@@ -85,6 +108,8 @@ class WorkerStats:
     queries_scored: int = 0
     deltas_applied: int = 0
     coverage_rows: int = 0
+    rpc_calls: dict = field(default_factory=dict)
+    rpc_payload_bytes: dict = field(default_factory=dict)
 
 
 class WorkerTransport:
@@ -99,10 +124,25 @@ class WorkerTransport:
     The typed wrappers below are the protocol: routers call these, so
     method-name typos die at the call site rather than in a worker
     process.
+
+    When the owning router traces, it sets :attr:`tracer` and every
+    submit carries the innermost open span as a trace-context envelope
+    (see :meth:`_trace_context`); with tracing off — the default — the
+    context is ``None`` and the wire format is byte-identical to the
+    untraced protocol, so the hot path allocates nothing extra.
     """
 
     shard_id: int
     stats: TransportStats
+    # the router's Tracer (set at spawn); None = never propagate
+    tracer = None
+
+    def _trace_context(self) -> tuple | None:
+        """The ``(trace_id, span_id)`` envelope this RPC should carry —
+        ``None`` unless the router traces *and* a span is open."""
+        if self.tracer is None:
+            return None
+        return self.tracer.current_context()
 
     def submit(self, method: str, *args) -> None:
         raise NotImplementedError
@@ -169,6 +209,14 @@ class WorkerTransport:
     # -- introspection / liveness ----------------------------------------------------
     def worker_stats(self) -> WorkerStats:
         return self.call("stats")
+
+    def telemetry(self) -> tuple:
+        """Drain the worker's telemetry: ``(harvest, finished_spans)``
+        — a delta-encoded :meth:`MetricsRegistry.harvest` envelope plus
+        the worker's finished span trees in wire form.  Draining is
+        idempotent on the receiving side (the envelope carries a
+        source/seq, see :meth:`MetricsRegistry.merge`)."""
+        return self.call("telemetry")
 
     def ping(self, timeout: float | None = None) -> bool:
         """Heartbeat: True iff the worker answered within ``timeout``."""

@@ -25,12 +25,15 @@ from repro.obs.tracing import NULL_SPAN, Span, Tracer
 from repro.obs.export import (JsonlSink, metrics_events, prometheus_text,
                               render_metrics, render_span_tree,
                               span_events, span_seconds_by_name)
+from repro.obs.slo import SloEngine, SloStatus
+from repro.obs.console import render_dashboard
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Span", "Tracer", "NULL_SPAN",
     "JsonlSink", "metrics_events", "prometheus_text", "render_metrics",
     "render_span_tree", "span_events", "span_seconds_by_name",
+    "SloEngine", "SloStatus", "render_dashboard",
     "Telemetry",
 ]
 
@@ -42,22 +45,30 @@ class Telemetry:
     Tracing defaults to **off** (the no-op fast path); metrics are
     always on — counter syncs happen at export time and cost nothing on
     hot paths.
+
+    ``node`` names this process in span ids (``"main:17"``,
+    ``"worker3:4"``) and ``source`` names the registry's harvest
+    envelopes — both matter only for telemetry that crosses the RPC
+    boundary (see ``docs/observability.md``, "Distributed telemetry").
     """
 
     def __init__(self, *, tracing: bool = False,
                  registry: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
-                 max_roots: int = 512) -> None:
+                 max_roots: int = 512, node: str = "main",
+                 source: str | None = None) -> None:
         self.registry = registry if registry is not None \
-            else MetricsRegistry()
+            else MetricsRegistry(source=source)
         self.tracer = tracer if tracer is not None \
             else Tracer(tracing, registry=self.registry,
-                        max_roots=max_roots)
+                        max_roots=max_roots, node=node)
 
     # -- instrumentation surface -------------------------------------------------------
-    def trace(self, name: str, **attrs):
-        """Open a span (context manager); free when tracing is off."""
-        return self.tracer.trace(name, **attrs)
+    def trace(self, name: str, parent: tuple | None = None, **attrs):
+        """Open a span (context manager); free when tracing is off.
+        ``parent`` is an optional remote trace context (see
+        :meth:`Tracer.current_context`)."""
+        return self.tracer.trace(name, parent=parent, **attrs)
 
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         return self.registry.counter(name, help, **labels)

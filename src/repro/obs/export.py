@@ -59,10 +59,15 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                      f"{'summary' if kind == 'histogram' else kind}")
         for labels, metric in series:
             if kind == "histogram":
-                for q, _ in _QUANTILES:
-                    qlabels = dict(labels, quantile=_fmt(q))
-                    lines.append(f"{name}{_label_str(qlabels)} "
-                                 f"{_fmt(metric.percentile(q * 100.0))}")
+                # an empty histogram has no quantiles — emitting NaN
+                # lines breaks strict exposition parsers, so only
+                # _sum/_count appear until the first observation
+                if metric.count > 0:
+                    for q, _ in _QUANTILES:
+                        qlabels = dict(labels, quantile=_fmt(q))
+                        lines.append(
+                            f"{name}{_label_str(qlabels)} "
+                            f"{_fmt(metric.percentile(q * 100.0))}")
                 lines.append(f"{name}_sum{_label_str(labels)} "
                              f"{_fmt(metric.sum)}")
                 lines.append(f"{name}_count{_label_str(labels)} "

@@ -171,6 +171,44 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(99.0)
 
+    def frac_over(self, threshold: float) -> float:
+        """Fraction of the (sampled) stream strictly above
+        ``threshold`` — the SLO engine's bad-event estimator; NaN on an
+        empty reservoir."""
+        if not self._samples:
+            return float("nan")
+        over = sum(1 for v in self._samples if v > threshold)
+        return over / len(self._samples)
+
+    def absorb(self, count: int, total: float, samples) -> None:
+        """Merge another histogram's contribution *losslessly on
+        count/sum* (exact running totals) and union its reservoir
+        samples into this one.  While the combined stream fits the
+        reservoir every sample is kept and percentiles stay exact;
+        beyond capacity incoming samples displace uniform slots, the
+        same bounded-memory estimate :meth:`observe` degrades to.
+
+        This is the registry-merge primitive: ``count``/``total`` are
+        the *deltas* being folded in (a harvest ships increments), and
+        ``samples`` are only the observations not yet represented here
+        — the caller (``MetricsRegistry.merge``) guarantees no sample
+        is offered twice."""
+        count = int(count)
+        total = float(total)
+        if count < 0 or not math.isfinite(total):
+            raise ValueError(
+                f"cannot absorb count={count}, sum={total}")
+        self._count += count
+        self._sum += total
+        for value in samples:
+            value = float(value)
+            if len(self._samples) < self.reservoir_size:
+                self._samples.append(value)
+                continue
+            slot = int(self._rng.integers(0, max(self._count, 1)))
+            if slot < self.reservoir_size:
+                self._samples[slot] = value
+
 
 class _Family:
     """One metric name: a kind, a help string, and labeled series."""
@@ -188,11 +226,37 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-class MetricsRegistry:
-    """Get-or-create home of every metric family in a process."""
+def _new_samples(current, previous) -> list:
+    """Multiset difference ``current - previous``: the reservoir slots
+    that changed since the last harvest.  Samples observed *and*
+    evicted between two harvests are necessarily missed (bounded
+    memory), but count/sum deltas stay exact regardless."""
+    from collections import Counter
+    prev = Counter(previous)
+    out = []
+    for v in current:
+        if prev[v] > 0:
+            prev[v] -= 1
+        else:
+            out.append(v)
+    return out
 
-    def __init__(self) -> None:
+
+class MetricsRegistry:
+    """Get-or-create home of every metric family in a process.
+
+    ``source`` names this registry in its :meth:`harvest` envelopes so
+    a receiver can deduplicate redelivered harvests (an RPC retry must
+    not double-count); leave it ``None`` for registries that are never
+    harvested over an at-least-once channel.
+    """
+
+    def __init__(self, *, source: str | None = None) -> None:
         self._families: dict[str, _Family] = {}
+        self.source = source
+        self._harvest_seq = 0
+        self._harvest_marks: dict[tuple, object] = {}
+        self._merged_seqs: dict[tuple, int] = {}
 
     # -- access ------------------------------------------------------------------------
     def counter(self, name: str, help: str = "", **labels) -> Counter:
@@ -299,3 +363,101 @@ class MetricsRegistry:
                 entries.append({"labels": labels, "value": value})
             out[name] = {"kind": kind, "help": help, "series": entries}
         return out
+
+    # -- federation (harvest / merge) ----------------------------------------------------
+    def harvest(self) -> dict:
+        """Delta-encoded plain-data snapshot: only what changed since
+        the previous ``harvest()`` call.
+
+        Counters ship their increment, gauges their current value (only
+        when it moved), histograms their count/sum increments plus the
+        reservoir samples that appeared since the last harvest.  The
+        envelope carries ``(source, seq)`` so :meth:`merge` on the
+        receiving side is idempotent under redelivery — harvesting an
+        unchanged registry yields an empty ``families`` map, and wire
+        cost stays proportional to activity, not to registry size.
+        """
+        families: dict = {}
+        for name, kind, help, series in self.families():
+            entries = []
+            for labels, metric in series:
+                key = (name, _label_key(labels))
+                if kind == "histogram":
+                    prev = self._harvest_marks.get(key)
+                    pcount, psum, psamples = prev if prev is not None \
+                        else (0, 0.0, ())
+                    dcount = metric.count - pcount
+                    dsum = metric.sum - psum
+                    if dcount == 0 and dsum == 0.0:
+                        continue
+                    fresh = _new_samples(metric._samples, psamples)
+                    self._harvest_marks[key] = (
+                        metric.count, metric.sum, tuple(metric._samples))
+                    entries.append({
+                        "labels": labels, "count": dcount, "sum": dsum,
+                        "samples": fresh,
+                        "reservoir_size": metric.reservoir_size})
+                elif kind == "counter":
+                    prev = self._harvest_marks.get(key, 0.0)
+                    delta = metric.value - prev
+                    if delta == 0.0:
+                        continue
+                    self._harvest_marks[key] = metric.value
+                    entries.append({"labels": labels, "value": delta})
+                else:  # gauge: last-write semantics, emit on change
+                    prev = self._harvest_marks.get(key)
+                    if prev is not None and prev == metric.value:
+                        continue
+                    self._harvest_marks[key] = metric.value
+                    entries.append({"labels": labels,
+                                    "value": metric.value})
+            if entries:
+                families[name] = {"kind": kind, "help": help,
+                                  "series": entries}
+        self._harvest_seq += 1
+        return {"source": self.source, "seq": self._harvest_seq,
+                "families": families}
+
+    def merge(self, harvest: dict, *, labels: dict | None = None) -> int:
+        """Fold one :meth:`harvest` envelope into this registry,
+        optionally relabeling every series (``labels`` are *added*; on
+        a key collision the harvester's label wins — the receiver is
+        the authority on which worker a series came from).
+
+        Lossless by kind: counters sum the shipped increments, gauges
+        take the last write, histograms add count/sum exactly and union
+        the shipped reservoir samples (:meth:`Histogram.absorb`).
+        Envelopes carrying a ``source`` are deduplicated by ``(source,
+        merge labels, seq)``: re-merging an already-applied harvest is
+        a no-op, so at-least-once delivery cannot double-count.
+        Returns the number of series updated.
+        """
+        labels = dict(labels or {})
+        source = harvest.get("source")
+        if source is not None:
+            seq_key = (source, _label_key(labels))
+            seq = int(harvest.get("seq", 0))
+            if seq <= self._merged_seqs.get(seq_key, 0):
+                return 0
+            self._merged_seqs[seq_key] = seq
+        updated = 0
+        for name in sorted(harvest.get("families", {})):
+            family = harvest["families"][name]
+            kind = family["kind"]
+            help = family.get("help", "")
+            for entry in family["series"]:
+                merged = dict(entry.get("labels") or {})
+                merged.update(labels)
+                if kind == "counter":
+                    self.counter(name, help, **merged).inc(entry["value"])
+                elif kind == "gauge":
+                    self.gauge(name, help, **merged).set(entry["value"])
+                else:
+                    self.histogram(
+                        name, help,
+                        reservoir_size=int(entry.get("reservoir_size",
+                                                     1024)),
+                        **merged).absorb(entry["count"], entry["sum"],
+                                         entry.get("samples", ()))
+                updated += 1
+        return updated

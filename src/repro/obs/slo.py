@@ -1,0 +1,176 @@
+"""Declarative service-level objectives over registry metrics.
+
+An :class:`SloEngine` watches series that already exist in a
+:class:`~repro.obs.registry.MetricsRegistry` — nothing here records on a
+hot path — and answers the operator question "are we meeting our
+targets, and how fast are we burning the error budget?".  Two target
+shapes cover the SLOs the ROADMAP's scenario harness calls for:
+
+* **quantile targets** over histograms (p99 query latency under a
+  threshold): the observed value is the histogram's percentile and the
+  *burn rate* is ``frac_over(threshold) / (1 - q/100)`` — 1.0 means bad
+  events arrive exactly as fast as the budget allows, 2.0 means the
+  budget is being consumed at twice the sustainable rate;
+* **ratio targets** over counter pairs (shed rate = shed / submitted,
+  heartbeat-miss rate = failures / heartbeats): each
+  :meth:`SloEngine.evaluate` tick snapshots the counters into a rolling
+  window of the last ``window`` ticks, so the observed bad fraction is
+  *recent* behavior, not lifetime average — a burst that has passed
+  stops violating once it leaves the window.  Burn rate is
+  ``bad_fraction / threshold``.
+
+Targets with no data yet (an empty histogram, zero window traffic)
+report ``ok=True`` with a NaN value: an SLO cannot be violated by
+silence.  Everything is plain Python and deterministic — the dashboard
+(:mod:`repro.obs.console`) and the scenario benches render the same
+:class:`SloStatus` rows.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SloStatus", "SloEngine"]
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One target's verdict at one :meth:`SloEngine.evaluate` tick."""
+
+    name: str
+    ok: bool
+    value: float          # observed quantile / bad fraction (NaN = no data)
+    threshold: float
+    burn: float           # error-budget burn rate (1.0 = at allowance)
+    detail: str
+
+    @property
+    def label(self) -> str:
+        return "ok" if self.ok else "VIOLATED"
+
+
+class _QuantileTarget:
+    __slots__ = ("name", "metric", "labels", "q", "threshold")
+
+    def __init__(self, name, metric, labels, q, threshold) -> None:
+        self.name = name
+        self.metric = metric
+        self.labels = labels
+        self.q = float(q)
+        self.threshold = float(threshold)
+
+    def evaluate(self, registry) -> SloStatus:
+        hist = registry.get(self.metric, **self.labels)
+        value = float("nan") if hist is None else hist.percentile(self.q)
+        if math.isnan(value):
+            return SloStatus(self.name, True, value, self.threshold,
+                             0.0, "no data")
+        budget = 1.0 - self.q / 100.0
+        bad = hist.frac_over(self.threshold)
+        burn = (bad / budget) if budget > 0 else \
+            (float("inf") if bad > 0 else 0.0)
+        ok = value <= self.threshold
+        detail = (f"p{self.q:g}({self.metric}) = {value:.3g} vs "
+                  f"{self.threshold:g}")
+        return SloStatus(self.name, ok, value, self.threshold, burn,
+                         detail)
+
+
+class _RatioTarget:
+    __slots__ = ("name", "bad", "bad_labels", "total", "total_labels",
+                 "threshold", "history")
+
+    def __init__(self, name, bad, bad_labels, total, total_labels,
+                 threshold, window) -> None:
+        self.name = name
+        self.bad = bad
+        self.bad_labels = bad_labels
+        self.total = total
+        self.total_labels = total_labels
+        self.threshold = float(threshold)
+        # window+1 snapshots span exactly `window` inter-tick deltas
+        self.history: deque = deque(maxlen=window + 1)
+
+    def evaluate(self, registry) -> SloStatus:
+        bad = registry.value(self.bad, **self.bad_labels)
+        total = registry.value(self.total, **self.total_labels)
+        self.history.append((bad, total))
+        bad0, total0 = self.history[0]
+        dtotal = total - total0
+        if dtotal <= 0:
+            return SloStatus(self.name, True, float("nan"),
+                             self.threshold, 0.0, "no window traffic")
+        frac = max(0.0, bad - bad0) / dtotal
+        burn = (frac / self.threshold) if self.threshold > 0 else \
+            (float("inf") if frac > 0 else 0.0)
+        ok = frac <= self.threshold
+        detail = (f"{self.bad}/{self.total} = {frac:.4g} vs "
+                  f"{self.threshold:g} over last {len(self.history) - 1} "
+                  f"tick(s)")
+        return SloStatus(self.name, ok, frac, self.threshold, burn,
+                         detail)
+
+
+class SloEngine:
+    """Evaluates declared targets against one registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` the targets read (on a router this
+        is the merged cluster registry, so SLOs see every worker).
+    window:
+        Rolling-window length, in :meth:`evaluate` ticks, for ratio
+        targets.  Quantile targets read the histogram's bounded
+        reservoir, which is already recency-weighted by eviction.
+    """
+
+    def __init__(self, registry, *, window: int = 60) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.registry = registry
+        self.window = int(window)
+        self._targets: list = []
+
+    # -- declaration -------------------------------------------------------------------
+    def quantile(self, name: str, metric: str, *, q: float = 99.0,
+                 threshold: float, labels: dict | None = None
+                 ) -> "SloEngine":
+        """Declare "the ``q``-th percentile of histogram ``metric``
+        stays at or under ``threshold``" (e.g. p99 latency).  Returns
+        self for chaining."""
+        if not 0.0 < q < 100.0:
+            raise ValueError(f"quantile must be in (0, 100), got {q}")
+        self._targets.append(_QuantileTarget(name, metric,
+                                             dict(labels or {}), q,
+                                             threshold))
+        return self
+
+    def ratio(self, name: str, bad: str, total: str, *,
+              threshold: float, bad_labels: dict | None = None,
+              total_labels: dict | None = None) -> "SloEngine":
+        """Declare "counter ``bad`` stays at or under ``threshold`` as
+        a fraction of counter ``total``, over the rolling window"
+        (e.g. shed rate, heartbeat-miss rate).  Returns self."""
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self._targets.append(_RatioTarget(name, bad,
+                                          dict(bad_labels or {}),
+                                          total, dict(total_labels or {}),
+                                          threshold, self.window))
+        return self
+
+    # -- evaluation --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def evaluate(self) -> list[SloStatus]:
+        """One tick: read every target, advance ratio windows, return
+        verdicts in declaration order."""
+        return [t.evaluate(self.registry) for t in self._targets]
+
+    def healthy(self) -> bool:
+        """True iff every target is currently met (evaluates a tick)."""
+        return all(s.ok for s in self.evaluate())

@@ -29,7 +29,7 @@ from repro.errors import ConfigError, StoreError
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.nn.linear import EdgeScorer, Linear
-from repro.obs import Telemetry
+from repro.obs import SloEngine, Telemetry, render_dashboard
 from repro.serve.cache import EmbeddingCache
 from repro.serve.engine import InferenceEngine
 from repro.serve.ingest import EdgeEvent, StreamIngestor
@@ -128,6 +128,7 @@ class QueryFrontend:
             "Per-request latency (bounded reservoir)")
         self._queue: list[PendingQuery] = []
         self._started_at: float | None = None
+        self.slo = None              # attached SloEngine (attach_slo)
         self.store = None            # attached GraphStore (durability)
         self._store_state_interval = 1
         self._store_replaying = False
@@ -238,6 +239,30 @@ class QueryFrontend:
         """Human-readable dump of the retained span trees (empty unless
         the telemetry was built with ``tracing=True``)."""
         return self.telemetry.span_tree(min_ms=min_ms)
+
+    def attach_slo(self, slo: SloEngine | None = None, *,
+                   window: int = 60) -> SloEngine:
+        """Attach (or build) an :class:`SloEngine` over this server's
+        registry; :meth:`dashboard` renders its verdicts from then on.
+        Returns the engine so callers can declare targets fluently::
+
+            server.attach_slo().quantile(
+                "p99-latency", "serve_latency_ms", q=99, threshold=5.0)
+        """
+        if slo is None:
+            slo = SloEngine(self.telemetry.registry, window=window)
+        self.slo = slo
+        return slo
+
+    def dashboard(self, *, title: str | None = None) -> str:
+        """Live text dashboard of this tier (counters synced first; on
+        an :class:`~repro.exec.router.ExecRouter` the sync also drains
+        worker telemetry, so the view covers the whole cluster)."""
+        self._collect_metrics()
+        if title is None:
+            title = f"{type(self).__name__} dashboard"
+        return render_dashboard(self.telemetry, slo=self.slo,
+                                title=title)
 
     # -- durability plumbing (shared by ModelServer and ShardedServer) -----------
     def attach_store(self, store, *, state_interval: int = 1,

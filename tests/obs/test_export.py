@@ -46,6 +46,36 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert prometheus_text(MetricsRegistry()) == ""
 
+    def test_empty_histogram_emits_no_quantile_lines(self):
+        """Regression: an empty histogram used to export
+        ``quantile="0.5"} nan`` lines, which strict exposition-format
+        parsers reject.  Quantiles are suppressed until the first
+        observation; _sum/_count always export."""
+        reg = MetricsRegistry()
+        reg.histogram("serve_latency_ms", "Latency")
+        text = prometheus_text(reg)
+        assert "quantile=" not in text
+        assert "nan" not in text.lower()
+        assert "serve_latency_ms_sum 0" in text
+        assert "serve_latency_ms_count 0" in text
+        # first observation turns the quantile lines on
+        reg.histogram("serve_latency_ms").observe(2.0)
+        text = prometheus_text(reg)
+        assert 'serve_latency_ms{quantile="0.5"} 2' in text
+
+    def test_mixed_empty_and_live_series(self):
+        """Suppression is per-series: a live labeled sibling keeps its
+        quantiles while the empty one exports only _sum/_count."""
+        reg = MetricsRegistry()
+        reg.histogram("exec_rpc_latency_ms", shard="0")
+        reg.histogram("exec_rpc_latency_ms", shard="1").observe(3.0)
+        text = prometheus_text(reg)
+        assert 'exec_rpc_latency_ms{quantile="0.5",shard="1"}' in text \
+            or 'exec_rpc_latency_ms{shard="1",quantile="0.5"}' in text
+        assert 'shard="0",quantile=' not in text
+        assert 'quantile="0.5",shard="0"' not in text
+        assert 'exec_rpc_latency_ms_count{shard="0"} 0' in text
+
 
 class TestJsonl:
     def test_metrics_events_shape(self):

@@ -1,0 +1,195 @@
+"""Registry federation: delta harvests and lossless merges.
+
+These are the invariants the router's cluster registry leans on: a
+worker's ``harvest()`` ships only what changed, ``merge()`` folds it in
+losslessly on count/sum, redelivery cannot double-count, and the
+harvester's labels are authoritative on collision.
+"""
+
+import math
+
+from repro.obs import MetricsRegistry
+
+
+def worker_registry(source="worker0") -> MetricsRegistry:
+    reg = MetricsRegistry(source=source)
+    reg.counter("worker_rows_recomputed_total", "Rows recomputed").inc(100)
+    reg.gauge("worker_busy_seconds").set(1.5)
+    h = reg.histogram("worker_step_ms")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    return reg
+
+
+class TestHarvest:
+    def test_first_harvest_ships_everything(self):
+        harvest = worker_registry().harvest()
+        assert harvest["source"] == "worker0"
+        assert harvest["seq"] == 1
+        fams = harvest["families"]
+        assert fams["worker_rows_recomputed_total"]["series"][0]["value"] \
+            == 100.0
+        assert fams["worker_busy_seconds"]["series"][0]["value"] == 1.5
+        hist = fams["worker_step_ms"]["series"][0]
+        assert hist["count"] == 4 and hist["sum"] == 10.0
+        assert sorted(hist["samples"]) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_unchanged_registry_harvests_empty(self):
+        reg = worker_registry()
+        reg.harvest()
+        second = reg.harvest()
+        assert second["families"] == {}
+        assert second["seq"] == 2  # seq still advances
+
+    def test_deltas_only_since_last_harvest(self):
+        reg = worker_registry()
+        reg.harvest()
+        reg.counter("worker_rows_recomputed_total").inc(7)
+        reg.histogram("worker_step_ms").observe(9.0)
+        delta = reg.harvest()["families"]
+        assert delta["worker_rows_recomputed_total"]["series"][0]["value"] \
+            == 7.0
+        hist = delta["worker_step_ms"]["series"][0]
+        assert hist["count"] == 1 and hist["sum"] == 9.0
+        assert hist["samples"] == [9.0]
+        assert "worker_busy_seconds" not in delta  # gauge unchanged
+
+    def test_gauge_emitted_on_first_harvest_even_at_zero(self):
+        reg = MetricsRegistry(source="w")
+        reg.gauge("worker_queue_depth")  # never set: value 0.0
+        fams = reg.harvest()["families"]
+        assert fams["worker_queue_depth"]["series"][0]["value"] == 0.0
+        assert reg.harvest()["families"] == {}
+
+
+class TestMerge:
+    def test_merge_relabels_and_counts_series(self):
+        agg = MetricsRegistry()
+        updated = agg.merge(worker_registry().harvest(),
+                            labels={"worker": "0"})
+        assert updated == 3
+        assert agg.value("worker_rows_recomputed_total",
+                         worker="0") == 100.0
+        hist = agg.get("worker_step_ms", worker="0")
+        assert hist.count == 4 and hist.sum == 10.0
+
+    def test_redelivered_harvest_is_a_noop(self):
+        agg = MetricsRegistry()
+        harvest = worker_registry().harvest()
+        assert agg.merge(harvest, labels={"worker": "0"}) == 3
+        # at-least-once delivery: the retry must not double-count
+        assert agg.merge(harvest, labels={"worker": "0"}) == 0
+        assert agg.value("worker_rows_recomputed_total",
+                         worker="0") == 100.0
+
+    def test_same_harvest_to_distinct_labels_both_apply(self):
+        # dedup is per (source, merge labels): two logical workers that
+        # happen to share a source string stay independent
+        agg = MetricsRegistry()
+        harvest = worker_registry().harvest()
+        assert agg.merge(harvest, labels={"worker": "0"}) == 3
+        assert agg.merge(harvest, labels={"worker": "1"}) == 3
+
+    def test_stale_seq_rejected(self):
+        reg = worker_registry()
+        first = reg.harvest()
+        reg.counter("worker_rows_recomputed_total").inc(1)
+        second = reg.harvest()
+        agg = MetricsRegistry()
+        agg.merge(second, labels={"worker": "0"})
+        assert agg.merge(first, labels={"worker": "0"}) == 0
+
+    def test_merge_labels_win_on_collision(self):
+        reg = MetricsRegistry(source="w")
+        reg.counter("c_total", worker="LIAR", verb="refresh").inc(5)
+        agg = MetricsRegistry()
+        agg.merge(reg.harvest(), labels={"worker": "3"})
+        # the harvester is the authority on worker identity; the
+        # non-colliding label survives
+        assert agg.value("c_total", worker="3", verb="refresh") == 5.0
+        assert agg.get("c_total", worker="LIAR", verb="refresh") is None
+
+    def test_sourceless_harvest_always_applies(self):
+        reg = MetricsRegistry()  # source=None: no dedup envelope
+        reg.counter("c_total").inc(2)
+        agg = MetricsRegistry()
+        h = reg.harvest()
+        assert agg.merge(h) == 1
+        assert agg.merge(h) == 1  # caller owns idempotence
+        assert agg.value("c_total") == 4.0
+
+
+class TestMergeAlgebra:
+    def test_incremental_merge_equals_one_shot(self):
+        """merge(h1); merge(h2) == merge of a single harvest taken at
+        the end — counters and histogram count/sum are associative."""
+        stepwise_src = worker_registry()
+        oneshot_src = worker_registry()
+        agg_step = MetricsRegistry()
+        agg_once = MetricsRegistry()
+
+        agg_step.merge(stepwise_src.harvest(), labels={"worker": "0"})
+        for reg in (stepwise_src, oneshot_src):
+            reg.counter("worker_rows_recomputed_total").inc(11)
+            reg.gauge("worker_busy_seconds").set(2.25)
+            reg.histogram("worker_step_ms").observe(8.0)
+        agg_step.merge(stepwise_src.harvest(), labels={"worker": "0"})
+        agg_once.merge(oneshot_src.harvest(), labels={"worker": "0"})
+
+        for agg in (agg_step, agg_once):
+            assert agg.value("worker_rows_recomputed_total",
+                             worker="0") == 111.0
+            assert agg.get("worker_busy_seconds", worker="0").value == 2.25
+            h = agg.get("worker_step_ms", worker="0")
+            assert h.count == 5 and h.sum == 18.0
+        assert sorted(agg_step.get("worker_step_ms", worker="0")._samples) \
+            == sorted(agg_once.get("worker_step_ms", worker="0")._samples)
+
+    def test_merge_order_does_not_change_totals(self):
+        a = MetricsRegistry(source="w0")
+        a.counter("c_total").inc(3)
+        b = MetricsRegistry(source="w1")
+        b.counter("c_total").inc(4)
+        ha, hb = a.harvest(), b.harvest()
+
+        ab = MetricsRegistry()
+        ab.merge(ha, labels={"worker": "0"})
+        ab.merge(hb, labels={"worker": "1"})
+        ba = MetricsRegistry()
+        ba.merge(hb, labels={"worker": "1"})
+        ba.merge(ha, labels={"worker": "0"})
+        for agg in (ab, ba):
+            assert agg.value("c_total", worker="0") == 3.0
+            assert agg.value("c_total", worker="1") == 4.0
+
+    def test_histogram_count_sum_exact_under_truncation(self):
+        """Push far past the reservoir: the sample set is a bounded
+        estimate, but merged count/sum must equal the true stream."""
+        reg = MetricsRegistry(source="w")
+        hist = reg.histogram("h_ms", reservoir_size=16)
+        agg = MetricsRegistry()
+        expected_count, expected_sum = 0, 0.0
+        for chunk in range(5):
+            for i in range(100):
+                v = float(chunk * 100 + i)
+                hist.observe(v)
+                expected_count += 1
+                expected_sum += v
+            agg.merge(reg.harvest(), labels={"worker": "0"})
+        merged = agg.get("h_ms", worker="0")
+        assert merged.count == expected_count == 500
+        assert merged.sum == expected_sum
+        assert math.isclose(merged.mean, expected_sum / expected_count)
+        # the reservoir never exceeds its bound and only holds real
+        # observations from the stream
+        assert merged.sampled <= 16
+        assert all(0.0 <= v < 500.0 for v in merged._samples)
+
+    def test_merged_reservoir_respects_source_size(self):
+        reg = MetricsRegistry(source="w")
+        h = reg.histogram("h_ms", reservoir_size=8)
+        for v in range(50):
+            h.observe(float(v))
+        agg = MetricsRegistry()
+        agg.merge(reg.harvest(), labels={"worker": "0"})
+        assert agg.get("h_ms", worker="0").reservoir_size == 8

@@ -1,0 +1,173 @@
+"""SLO engine: quantile and ratio targets, burn rates, dashboard."""
+
+import math
+
+import pytest
+
+from repro.obs import (MetricsRegistry, SloEngine, Telemetry,
+                       render_dashboard)
+
+
+def engine(window=5):
+    reg = MetricsRegistry()
+    return reg, SloEngine(reg, window=window)
+
+
+class TestQuantileTarget:
+    def test_met_target(self):
+        reg, slo = engine()
+        slo.quantile("p99-latency", "serve_latency_ms", q=99.0,
+                     threshold=10.0)
+        h = reg.histogram("serve_latency_ms")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        (status,) = slo.evaluate()
+        assert status.ok and status.label == "ok"
+        assert status.value == pytest.approx(h.p99)
+        assert status.burn == 0.0  # nothing over threshold
+
+    def test_violated_target_and_burn(self):
+        reg, slo = engine()
+        slo.quantile("p50-latency", "serve_latency_ms", q=50.0,
+                     threshold=5.0)
+        h = reg.histogram("serve_latency_ms")
+        for v in (1.0, 9.0, 9.0, 9.0):
+            h.observe(v)
+        (status,) = slo.evaluate()
+        assert not status.ok and status.label == "VIOLATED"
+        # 3/4 samples over threshold against a 50% budget: 1.5x burn
+        assert status.burn == pytest.approx(0.75 / 0.5)
+        assert "serve_latency_ms" in status.detail
+
+    def test_no_data_is_ok(self):
+        reg, slo = engine()
+        slo.quantile("p99", "serve_latency_ms", threshold=1.0)
+        (status,) = slo.evaluate()  # series does not exist yet
+        assert status.ok and math.isnan(status.value)
+        assert status.detail == "no data"
+        reg.histogram("serve_latency_ms")  # exists but empty
+        (status,) = slo.evaluate()
+        assert status.ok and math.isnan(status.value)
+
+    def test_labeled_series(self):
+        reg, slo = engine()
+        slo.quantile("shard1-p99", "exec_rpc_latency_ms", threshold=1.0,
+                     labels={"shard": "1"})
+        reg.histogram("exec_rpc_latency_ms", shard="0").observe(99.0)
+        (status,) = slo.evaluate()
+        assert status.ok  # wrong shard's spike is invisible
+        reg.histogram("exec_rpc_latency_ms", shard="1").observe(99.0)
+        (status,) = slo.evaluate()
+        assert not status.ok
+
+    def test_bad_quantile_rejected(self):
+        _, slo = engine()
+        with pytest.raises(ValueError):
+            slo.quantile("x", "m", q=100.0, threshold=1.0)
+
+
+class TestRatioTarget:
+    def test_ratio_within_threshold(self):
+        reg, slo = engine()
+        slo.ratio("shed-rate", "serve_queries_shed_total",
+                  "serve_queries_submitted_total", threshold=0.1)
+        reg.counter("serve_queries_submitted_total").inc(100)
+        reg.counter("serve_queries_shed_total").inc(5)
+        slo.evaluate()  # first tick seeds the window
+        reg.counter("serve_queries_submitted_total").inc(100)
+        reg.counter("serve_queries_shed_total").inc(5)
+        (status,) = slo.evaluate()
+        assert status.ok
+        assert status.value == pytest.approx(0.05)
+        assert status.burn == pytest.approx(0.5)
+
+    def test_no_traffic_is_ok(self):
+        _, slo = engine()
+        slo.ratio("shed-rate", "bad_total", "ok_total", threshold=0.01)
+        (status,) = slo.evaluate()
+        assert status.ok and math.isnan(status.value)
+        assert "no window traffic" in status.detail
+
+    def test_burst_leaves_the_window(self):
+        """A violation stops being one once the bad burst scrolls out
+        of the rolling window — the SLO judges recent traffic."""
+        reg, slo = engine(window=3)
+        slo.ratio("shed-rate", "serve_queries_shed_total",
+                  "serve_queries_submitted_total", threshold=0.1)
+        bad = reg.counter("serve_queries_shed_total")
+        total = reg.counter("serve_queries_submitted_total")
+        total.inc(10)
+        slo.evaluate()
+        bad.inc(10)        # tick 2: 100% shed burst
+        total.inc(10)
+        (status,) = slo.evaluate()
+        assert not status.ok and status.value == pytest.approx(1.0)
+        for _ in range(4):  # clean ticks push the burst out
+            total.inc(10)
+            (status,) = slo.evaluate()
+        assert status.ok and status.value == 0.0
+
+    def test_negative_threshold_rejected(self):
+        _, slo = engine()
+        with pytest.raises(ValueError):
+            slo.ratio("x", "a_total", "b_total", threshold=-0.1)
+
+
+class TestEngine:
+    def test_chaining_and_len(self):
+        reg, slo = engine()
+        assert slo.quantile("a", "m", threshold=1.0) \
+                  .ratio("b", "x_total", "y_total", threshold=0.1) is slo
+        assert len(slo) == 2
+        assert len(slo.evaluate()) == 2
+
+    def test_healthy_all_targets(self):
+        reg, slo = engine()
+        slo.quantile("lat", "serve_latency_ms", q=50.0, threshold=5.0)
+        assert slo.healthy()  # no data: healthy
+        reg.histogram("serve_latency_ms").observe(100.0)
+        assert not slo.healthy()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            SloEngine(MetricsRegistry(), window=0)
+
+
+class TestDashboard:
+    def test_empty_registry_renders_title_only(self):
+        tel = Telemetry()
+        out = render_dashboard(tel, title="empty cluster")
+        assert out.startswith("== empty cluster ==")
+        assert "worker" not in out
+        assert "slo" not in out
+
+    def test_sections_appear_with_backing_series(self):
+        tel = Telemetry()
+        reg = tel.registry
+        reg.counter("serve_queries_submitted_total").inc(10)
+        reg.counter("serve_queries_completed_total").inc(9)
+        h = reg.histogram("serve_latency_ms")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        reg.counter("exec_rpc_roundtrips_total", shard="0").inc(4)
+        reg.gauge("worker_busy_seconds", worker="0").set(0.5)
+        reg.counter("shard_halo_rows_total").inc(12)
+        reg.counter("shard_halo_bytes_total").inc(2048)
+        reg.counter("span_seconds_total", span="serve.ingest").inc(0.25)
+
+        slo = SloEngine(reg, window=5)
+        slo.quantile("p99", "serve_latency_ms", threshold=100.0)
+        out = render_dashboard(tel, slo=slo, title="t")
+
+        assert "queries  10 submitted / 9 completed" in out
+        assert "latency ms  p50" in out
+        assert "worker" in out and "busy_s" in out  # per-worker table
+        assert "halo rows 12" in out
+        assert "[ok]" in out and "p99" in out
+        assert "spans    serve.ingest 0.250s" in out
+
+    def test_rendering_is_pure(self):
+        tel = Telemetry()
+        tel.registry.counter("serve_queries_submitted_total").inc(3)
+        first = render_dashboard(tel)
+        assert render_dashboard(tel) == first

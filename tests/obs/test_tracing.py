@@ -138,6 +138,106 @@ class TestRegistryFold:
         assert reg.value("span_calls_total", span="inner") == 1.0
 
 
+class TestPropagation:
+    def test_ids_node_prefixed_and_parented(self):
+        tracer = Tracer(enabled=True, node="main")
+        with tracer.trace("outer") as outer:
+            with tracer.trace("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert outer.span_id == "main:1"
+        assert outer.trace_id == outer.span_id  # self-rooted
+        assert outer.parent_id is None
+
+    def test_current_context_gates(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current_context() is None  # no open span
+        with tracer.trace("a") as a:
+            assert tracer.current_context() == (a.trace_id, a.span_id)
+        assert tracer.current_context() is None
+        assert Tracer(enabled=False).current_context() is None
+
+    def test_remote_parent_adopts_callers_trace(self):
+        router = Tracer(enabled=True, node="main")
+        worker = Tracer(enabled=True, node="worker0")
+        with router.trace("exec.rpc") as rpc:
+            ctx = router.current_context()
+        with worker.trace("worker.rpc", parent=ctx):
+            pass
+        shipped = worker.roots[0]
+        assert shipped.trace_id == rpc.trace_id
+        assert shipped.parent_id == rpc.span_id
+        assert shipped.span_id == "worker0:1"
+
+    def test_wire_round_trip_exact(self):
+        tracer = Tracer(enabled=True, clock=fake_clock())
+        with tracer.trace("worker.rpc", method="refresh"):
+            with tracer.trace("worker.refresh"):
+                pass
+        wire = tracer.roots[0].to_wire()
+        import json
+        json.dumps(wire)  # plain data: must survive any codec
+        from repro.obs import Span
+        back = Span.from_wire(wire)
+        assert back.to_wire() == wire
+        assert back.name == "worker.rpc"
+        assert back.attrs == {"method": "refresh"}
+        assert back.duration_s == tracer.roots[0].duration_s
+        assert back.children[0].name == "worker.refresh"
+
+    def test_graft_attaches_under_named_parent(self):
+        router = Tracer(enabled=True, node="main")
+        worker = Tracer(enabled=True, node="worker0")
+        with router.trace("serve.ingest"):
+            with router.trace("exec.rpc"):
+                ctx = router.current_context()
+        with worker.trace("worker.rpc", parent=ctx):
+            pass
+        assert router.graft(worker.drain_finished()) == 1
+        rpc = router.roots[0].children[0]
+        assert rpc.name == "exec.rpc"
+        assert [c.name for c in rpc.children] == ["worker.rpc"]
+        assert not worker.roots  # drained
+
+    def test_graft_orphan_kept_as_root(self):
+        router = Tracer(enabled=True)
+        wire = {"name": "worker.rpc", "trace_id": "main:9",
+                "span_id": "worker0:1", "parent_id": "main:9"}
+        assert router.graft([wire]) == 1  # parent evicted: keep anyway
+        assert [s.name for s in router.roots] == ["worker.rpc"]
+
+    def test_grafted_spans_do_not_fold_into_counters(self):
+        reg = MetricsRegistry()
+        router = Tracer(enabled=True, registry=reg)
+        with router.trace("exec.rpc"):
+            ctx = router.current_context()
+        worker = Tracer(enabled=True, node="worker0")
+        with worker.trace("worker.rpc", parent=ctx):
+            pass
+        router.graft(worker.drain_finished())
+        # the worker's own registry already counted it; grafting again
+        # here would double-count on harvest
+        assert reg.value("span_calls_total", span="worker.rpc") == 0.0
+
+    def test_chained_graft_indexes_new_spans(self):
+        """A grafted span becomes a graft target itself: a second
+        harvest's spans can parent under a first harvest's."""
+        router = Tracer(enabled=True)
+        with router.trace("exec.rpc"):
+            ctx = router.current_context()
+        worker = Tracer(enabled=True, node="worker0")
+        with worker.trace("worker.rpc", parent=ctx) as w:
+            wctx = (w.trace_id, w.span_id)
+        router.graft(worker.drain_finished())
+        late = Tracer(enabled=True, node="worker0")
+        late._seq = 10
+        with late.trace("worker.flush", parent=wctx):
+            pass
+        router.graft(late.drain_finished())
+        rpc = router.roots[0]
+        assert rpc.children[0].children[0].name == "worker.flush"
+
+
 class TestTelemetry:
     def test_bundle_shares_registry(self):
         tel = Telemetry(tracing=True)
