@@ -1,0 +1,85 @@
+"""Resilience bench — availability and recovery under the fault storm.
+
+Replays one AML-Sim stream through four exec-tier configurations
+(fault-free baseline, unprotected storm, bounded-staleness degraded,
+2-way replicated) and asserts the resilience layer's claims:
+
+* the replicated tier rides out the storm **bit-exact** against the
+  fault-free baseline — retries, dedup and failover are lossless;
+* replication buys real availability over the unprotected tier under
+  the identical seeded storm (the guarded ``availability_speedup``);
+* degraded bounded-staleness serving sits strictly between the two.
+
+Set ``REPRO_SMOKE=1`` for the CI-sized storm (same shape and crash
+point, smaller graph).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import ResilienceWorkloadConfig, run_resilience_benchmark
+from repro.bench.reporting import results_dir
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ResilienceWorkloadConfig.smoke() \
+        if os.environ.get("REPRO_SMOKE") else ResilienceWorkloadConfig()
+    return run_resilience_benchmark(config)
+
+
+def test_resilience_reports_written(result):
+    assert os.path.exists(os.path.join(results_dir(), "resilience.txt"))
+    bench_dir = os.environ.get("REPRO_BENCH_DIR", os.getcwd())
+    assert os.path.exists(os.path.join(bench_dir, "BENCH_resilience.json"))
+
+
+def test_storm_actually_stormed(result):
+    for name in ("unprotected", "degraded", "replicated"):
+        mode = result.mode(name)
+        assert mode.faults_injected > 10
+        assert mode.replica_deaths >= 1
+
+
+def test_replicated_storm_is_bit_exact(result):
+    """Retries + dedup + failover are lossless: the replicated tier's
+    final embeddings match the fault-free baseline exactly."""
+    assert result.replicated_divergence == 0.0
+
+
+def test_replicated_availability_is_total(result):
+    replicated = result.mode("replicated")
+    assert replicated.availability == 1.0
+    assert replicated.shed == 0
+    assert replicated.ops_failed == 0
+    assert replicated.failovers >= 1
+
+
+def test_unprotected_tier_loses_queries(result):
+    """Without replicas the scheduled crash takes the shard down for
+    good: availability drops and tier operations fail."""
+    unprotected = result.mode("unprotected")
+    assert unprotected.availability < 1.0
+    assert unprotected.shed > 0
+    assert unprotected.ops_failed > 0
+
+
+def test_degraded_serving_recovers_availability(result):
+    """Bounded-staleness answers put degraded availability strictly
+    above the unprotected tier, at the cost of stale results."""
+    degraded = result.mode("degraded")
+    assert degraded.availability > result.mode("unprotected").availability
+    assert degraded.degraded > 0
+    assert degraded.ops_failed == 0
+
+
+def test_availability_speedup_is_material(result):
+    assert result.availability_speedup >= 1.2
+
+
+def test_baseline_is_clean(result):
+    baseline = result.mode("baseline")
+    assert baseline.availability == 1.0
+    assert baseline.faults_injected == 0
+    assert baseline.rpc_retries == 0

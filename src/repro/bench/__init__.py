@@ -16,6 +16,10 @@ from repro.bench.sharded import (ShardedBenchResult, ShardedScalePoint,
                                  run_sharded_benchmark)
 from repro.bench.exec import (ExecBenchResult, ExecScalePoint,
                               ExecWorkloadConfig, run_exec_benchmark)
+from repro.bench.resilience import (ResilienceBenchResult,
+                                    ResilienceModeResult,
+                                    ResilienceWorkloadConfig,
+                                    run_resilience_benchmark)
 from repro.bench.store import (StoreBenchResult, StoreWorkloadConfig,
                                run_store_benchmark)
 from repro.bench.kernels import (KernelsBenchResult, KernelWorkloadConfig,
@@ -37,6 +41,8 @@ __all__ = [
     "run_sharded_benchmark",
     "ExecWorkloadConfig", "ExecScalePoint", "ExecBenchResult",
     "run_exec_benchmark",
+    "ResilienceWorkloadConfig", "ResilienceModeResult",
+    "ResilienceBenchResult", "run_resilience_benchmark",
     "StoreWorkloadConfig", "StoreBenchResult", "run_store_benchmark",
     "KernelWorkloadConfig", "KernelsBenchResult", "run_kernels_benchmark",
     "TrainingWorkloadConfig", "TrainingBenchResult",

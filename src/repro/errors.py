@@ -55,6 +55,14 @@ class StoreError(ReproError):
     mismatch, or a log that does not apply to the resident state."""
 
 
+class StoreCorruption(StoreError):
+    """A WAL record *inside* the valid log body failed its CRC or
+    framing check.  Unlike a torn tail (a crash mid-append, which scan
+    tolerates by truncating), interior corruption means durable history
+    was damaged after it was acknowledged — replay must stop loudly, not
+    silently serve a truncated timeline."""
+
+
 class ExecError(ReproError):
     """Execution-tier failure (transport, worker process, or router)."""
 

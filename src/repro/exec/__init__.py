@@ -16,8 +16,21 @@ and does not care who answers —
 Both backends drive identical :class:`ShardWorker` numerics, so their
 outputs agree bit for bit; the real backend adds what the simulation
 cannot — true wall-clock overlap, crash surfaces, and wire costs.
+
+On top of the transports sits the resilience layer:
+:class:`~repro.exec.channel.ShardChannel` replicates each shard,
+retries idempotent reads with backoff, sequences mutating writes for
+exactly-once application, trips per-replica circuit breakers and fails
+reads over to live replicas; :class:`~repro.exec.faults.FaultPlan`
+injects deterministic, seeded wire faults (drops, delays, duplicates,
+crashes, detectable corruption) underneath any transport for chaos
+testing.
 """
 
+from repro.exec.channel import CircuitBreaker, IDEMPOTENT_VERBS, \
+    MUTATING_VERBS, RetryPolicy, ShardChannel
+from repro.exec.faults import FAULT_KINDS, FaultPlan, FaultSpec, \
+    FaultyTransport
 from repro.exec.mp import MultiprocessBackend, ProcessTransport
 from repro.exec.router import ExecCounters, ExecRouter, ExecStats
 from repro.exec.service import Substrate, WorkerService
@@ -29,12 +42,21 @@ from repro.exec.transport import TransportStats, WorkerBoot, \
 
 __all__ = [
     "ArraySpec",
+    "CircuitBreaker",
     "ExecCounters",
     "ExecRouter",
     "ExecStats",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyTransport",
+    "IDEMPOTENT_VERBS",
     "LocalTransport",
+    "MUTATING_VERBS",
     "MultiprocessBackend",
     "ProcessTransport",
+    "RetryPolicy",
+    "ShardChannel",
     "SimulatedBackend",
     "Substrate",
     "TransportStats",

@@ -1,0 +1,277 @@
+"""Deterministic fault injection over any :class:`WorkerTransport`.
+
+A :class:`FaultPlan` is a seeded description of everything that should
+go wrong on the wire: background *rates* (each RPC independently draws
+drop / delay / duplicate / corrupt outcomes from a per-transport RNG
+stream) plus an explicit *schedule* of :class:`FaultSpec` entries that
+pin a fault to an exact ``(verb, shard, replica, call_index)``
+coordinate — "crash shard 1's primary on its 3rd ``apply_delta``".
+``plan.wrap(transport, ...)`` decorates the transport with a
+:class:`FaultyTransport` that injects on the submit/result path; the
+router, channel and worker underneath are completely unaware.
+
+Determinism is the whole point: the RNG stream is keyed on
+``(plan.seed, shard, replica, stream)`` and every call draws the same
+number of variates regardless of which faults fire, so a chaos test
+replays the exact same storm every run.  That is what lets the
+resilience suite assert *bit-exact* scores against a fault-free oracle
+rather than merely "it didn't crash".
+
+Fault semantics (all injected on the router side of the wire):
+
+``drop``
+    The request is lost in flight: the worker never sees it and
+    ``result()`` raises :class:`WorkerTimeoutError`.  The worker stays
+    alive — a retry of the same transport can succeed, which is the
+    transient-loss case retry logic exists for.
+``delay``
+    The call sleeps ``delay_s`` before delivery (deadline pressure).
+``duplicate``
+    The frame arrives twice, same sequence id — the at-least-once wire
+    the worker-side dedup cache must make exactly-once.
+``crash``
+    The worker is hard-killed (``debug_exit``) and ``result()`` raises
+    :class:`WorkerDeadError`: the replica-failover case.
+``corrupt``
+    One *delivery's* payload is damaged in a way the receiver's
+    integrity check catches: the delta's ``base_checksum`` is
+    perturbed, so :func:`~repro.graph.diff.apply_diff` rejects it
+    before touching worker state and the retry (a fresh, pristine
+    delivery) is safe.  Only verbs in ``corruptible`` carry a
+    checksum-guarded payload; corruption is never injected elsewhere,
+    because undetectable damage cannot be recovered from by any
+    protocol — that is the store layer's CRC problem, not the RPC
+    layer's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from repro.errors import ConfigError, WorkerDeadError, WorkerTimeoutError
+from repro.exec.transport import WorkerTransport
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultyTransport", "FAULT_KINDS"]
+
+FAULT_KINDS = ("drop", "delay", "duplicate", "crash", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.  ``None`` fields match anything; the
+    ``call_index`` counts calls of that verb on one transport (0-based),
+    so ``FaultSpec("crash", verb="apply_delta", shard=1, call_index=2)``
+    kills shard 1 exactly on its third delta."""
+
+    kind: str
+    verb: str | None = None
+    shard: int | None = None
+    replica: int | None = None
+    call_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+
+    def matches(self, verb: str, shard: int | None, replica: int,
+                index: int) -> bool:
+        return (self.verb is None or self.verb == verb) and \
+            (self.shard is None or self.shard == shard) and \
+            (self.replica is None or self.replica == replica) and \
+            (self.call_index is None or self.call_index == index)
+
+
+class FaultPlan:
+    """Seeded background fault rates plus an explicit fault schedule.
+
+    One plan is shared by every transport it wraps; per-kind injection
+    totals accumulate in :attr:`injected` so tests can assert the storm
+    actually stormed."""
+
+    def __init__(self, *, seed: int = 0,
+                 schedule: tuple = (),
+                 drop_rate: float = 0.0,
+                 delay_rate: float = 0.0,
+                 delay_s: float = 0.0005,
+                 duplicate_rate: float = 0.0,
+                 corrupt_rate: float = 0.0,
+                 verbs: frozenset | set | tuple | None = None,
+                 corruptible: tuple = ("apply_delta",),
+                 immune: tuple = ("shutdown", "adopt_state"),
+                 max_faults: int | None = None) -> None:
+        for name, rate in (("drop_rate", drop_rate),
+                           ("delay_rate", delay_rate),
+                           ("duplicate_rate", duplicate_rate),
+                           ("corrupt_rate", corrupt_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        self.seed = seed
+        self.schedule = tuple(schedule)
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.delay_s = delay_s
+        self.duplicate_rate = duplicate_rate
+        self.corrupt_rate = corrupt_rate
+        # rate faults apply only to these verbs (None = every verb not
+        # in ``immune``); scheduled faults match regardless
+        self.verbs = None if verbs is None else frozenset(verbs)
+        self.corruptible = frozenset(corruptible)
+        self.immune = frozenset(immune)
+        self.max_faults = max_faults
+        self.injected: dict[str, int] = {k: 0 for k in FAULT_KINDS}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def wrap(self, transport: WorkerTransport, *, shard: int | None = None,
+             replica: int = 0, stream: int = 0) -> "FaultyTransport":
+        """Decorate ``transport``; ``stream`` disambiguates successive
+        incarnations (revivals) so each gets a fresh RNG stream."""
+        return FaultyTransport(transport, self, shard=shard,
+                               replica=replica, stream=stream)
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] += 1
+
+    def _exhausted(self) -> bool:
+        return self.max_faults is not None and \
+            self.total_injected >= self.max_faults
+
+    def decide(self, rng: np.random.Generator, verb: str,
+               shard: int | None, replica: int, index: int) -> set[str]:
+        """The fault kinds this call suffers.  All four rate variates
+        are drawn on *every* call — fired or not, matched or not — so
+        the RNG stream position depends only on the call sequence."""
+        u = rng.random(4)
+        kinds: set[str] = set()
+        for spec in self.schedule:
+            if spec.matches(verb, shard, replica, index):
+                kinds.add(spec.kind)
+        if verb not in self.immune and \
+                (self.verbs is None or verb in self.verbs):
+            if u[0] < self.drop_rate:
+                kinds.add("drop")
+            if u[1] < self.delay_rate:
+                kinds.add("delay")
+            if u[2] < self.duplicate_rate:
+                kinds.add("duplicate")
+            if u[3] < self.corrupt_rate and verb in self.corruptible:
+                kinds.add("corrupt")
+        if kinds and self._exhausted():
+            return set()
+        return kinds
+
+
+def _corrupt_args(args: tuple) -> tuple:
+    """Damage the first checksum-guarded payload in ``args`` the way a
+    flipped wire bit would: the delta's ``base_checksum`` no longer
+    matches the topology it claims to extend, so the receiver's
+    :func:`apply_diff` rejects the delivery outright."""
+    out = list(args)
+    for i, obj in enumerate(out):
+        checksum = getattr(obj, "base_checksum", None)
+        if checksum is not None:
+            out[i] = dc_replace(obj, base_checksum=int(checksum) ^ 0x5A5A)
+            return tuple(out)
+    return tuple(out)
+
+
+class FaultyTransport(WorkerTransport):
+    """A transport decorator that injects the plan's faults.
+
+    Liveness, stats and tracing delegate to the inner transport;
+    only ``submit``/``result`` (and everything routed through them,
+    including ``embedding_rows`` — the shared-memory fast path is
+    deliberately bypassed so reads are injectable too) see faults.
+    """
+
+    def __init__(self, inner: WorkerTransport, plan: FaultPlan, *,
+                 shard: int | None = None, replica: int = 0,
+                 stream: int = 0) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.shard_id = inner.shard_id
+        self.shard = inner.shard_id if shard is None else shard
+        self.replica = replica
+        self._rng = np.random.default_rng(
+            [plan.seed, self.shard, replica, stream])
+        self._verb_index: dict[str, int] = {}
+        self._sabotage: str | None = None  # parked drop/crash outcome
+
+    # -- delegation -------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def tracer(self):
+        return self.inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
+
+    @property
+    def alive(self) -> bool:
+        return self.inner.alive
+
+    def ping(self, timeout: float | None = None) -> bool:
+        return self.inner.ping(timeout=timeout)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def debug_exit(self) -> None:
+        self.inner.debug_exit()
+
+    # -- injected wire ----------------------------------------------------------------
+    def submit(self, method: str, *args, seq: int | None = None) -> None:
+        if self._sabotage is not None:
+            raise WorkerDeadError(
+                f"shard {self.shard_id}: RPC already pending")
+        index = self._verb_index.get(method, 0)
+        self._verb_index[method] = index + 1
+        kinds = self.plan.decide(self._rng, method, self.shard,
+                                 self.replica, index)
+        if "crash" in kinds:
+            self.plan._count("crash")
+            self.inner.debug_exit()
+            self._sabotage = "crash"
+            return
+        if "delay" in kinds:
+            self.plan._count("delay")
+            time.sleep(self.plan.delay_s)
+        if "drop" in kinds:
+            self.plan._count("drop")
+            self._sabotage = "drop"
+            return
+        send_args = args
+        if "corrupt" in kinds:
+            self.plan._count("corrupt")
+            send_args = _corrupt_args(args)
+        if "duplicate" in kinds:
+            self.plan._count("duplicate")
+            # the first copy completes a full round-trip before the
+            # "real" one posts — same seq, so the worker's dedup cache
+            # must answer the second from its reply log.  Errors from
+            # the duplicated delivery surface through the second copy.
+            try:
+                self.inner.call(method, *send_args, seq=seq)
+            except Exception:
+                pass
+        self.inner.submit(method, *send_args, seq=seq)
+
+    def result(self):
+        if self._sabotage == "drop":
+            self._sabotage = None
+            raise WorkerTimeoutError(
+                f"shard {self.shard_id}: reply dropped by fault plan")
+        if self._sabotage == "crash":
+            self._sabotage = None
+            raise WorkerDeadError(
+                f"shard {self.shard_id}: worker crashed by fault plan")
+        return self.inner.result()

@@ -74,18 +74,20 @@ def _worker_main(conn, boot: WorkerBoot, manifest: dict) -> None:
     try:
         while True:
             # envelope: (method, args) untraced — byte-identical to the
-            # pre-tracing wire — or (method, args, trace_ctx) when the
-            # router carries a trace context
+            # pre-tracing wire — (method, args, trace_ctx) when the
+            # router carries a trace context, or (method, args,
+            # trace_ctx, seq) when the call is sequenced for dedup
             msg = pickle.loads(conn.recv_bytes())
             method, args = msg[0], msg[1]
             ctx = msg[2] if len(msg) > 2 else None
+            seq = msg[3] if len(msg) > 3 else None
             if method == "shutdown":
                 conn.send_bytes(pickle.dumps(("ok", None)))
                 break
             if method == "debug_exit":
                 os._exit(17)  # crash simulation: no reply, no cleanup
             try:
-                out = service.dispatch(method, args, ctx)
+                out = service.dispatch(method, args, ctx, seq=seq)
                 reply = ("ok", out)
             except Exception as exc:
                 reply = ("err", (type(exc).__name__, str(exc)))
@@ -121,18 +123,23 @@ class ProcessTransport(WorkerTransport):
         self._emb_handle = emb_handle
 
     # -- wire -------------------------------------------------------------------------
-    def submit(self, method: str, *args) -> None:
+    def submit(self, method: str, *args, seq: int | None = None) -> None:
         if self._pending:
             raise WorkerDeadError(
                 f"shard {self.shard_id}: RPC already pending")
         if not self.alive:
             raise WorkerDeadError(
                 f"shard {self.shard_id} worker process is dead")
-        # tracing off => ctx is None and the wire stays the plain
+        # tracing off and unsequenced => the wire stays the plain
         # (method, args) 2-tuple: zero envelope overhead on the hot path
         ctx = self._trace_context()
-        payload = pickle.dumps((method, args) if ctx is None
-                               else (method, args, ctx))
+        if seq is not None:
+            envelope = (method, args, ctx, seq)
+        elif ctx is not None:
+            envelope = (method, args, ctx)
+        else:
+            envelope = (method, args)
+        payload = pickle.dumps(envelope)
         t0 = time.perf_counter()
         try:
             self.conn.send_bytes(payload)
@@ -280,7 +287,8 @@ class MultiprocessBackend:
                           snapshot=None, owner=boot.owner,
                           num_shards=boot.num_shards, k_hops=boot.k_hops,
                           link_head=boot.link_head,
-                          fraud_head=boot.fraud_head)
+                          fraud_head=boot.fraud_head,
+                          replica_id=boot.replica_id)
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(target=_worker_main,
                                  args=(child_conn, lite, manifest),

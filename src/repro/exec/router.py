@@ -30,7 +30,19 @@ needs:
   ``heartbeat_interval_s`` is set) detect dead or hung workers; a dead
   worker is respawned from the latest store capture and the WAL tail
   replays through it (:meth:`_revive`), reusing the PR-3 recovery
-  machinery worker-by-worker.
+  machinery worker-by-worker;
+* **resilience** — every shard is reached through a
+  :class:`~repro.exec.channel.ShardChannel`: ``replicas=R`` spawns R
+  bit-identical workers per shard, idempotent reads retry with backoff
+  and fail over to a live replica, sequenced writes fan to every
+  replica exactly-once (worker-side dedup), and per-replica circuit
+  breakers fail fast on repeatedly unresponsive workers.  With
+  ``max_staleness`` set, a shard whose replicas are *all* gone degrades
+  instead of failing: its queries answer from the last boundary's
+  cached embeddings with an explicit ``staleness`` stamp (boundaries
+  behind the tip) and shed once the bound is exceeded.  A seeded
+  :class:`~repro.exec.faults.FaultPlan` injects deterministic wire
+  chaos underneath all of it for tests and benches.
 
 Instrumentation flows through the unified obs layer: spans
 ``exec.dispatch`` / ``exec.rpc`` / ``exec.coalesce`` nest under the
@@ -59,9 +71,12 @@ from repro.obs import Telemetry
 from repro.serve.cache import expand_dirty
 from repro.serve.engine import InferenceEngine, derive_serving_features
 from repro.serve.ingest import EdgeEvent, StreamIngestor
-from repro.serve.server import PendingQuery, QueryFrontend
+from repro.serve.server import PendingQuery, QueryFrontend, \
+    score_fraud, score_links
 from repro.serve.sharded.halo import HaloTraffic
 from repro.serve.sharded.plan import ShardPlan
+from repro.exec.channel import RetryPolicy, ShardChannel
+from repro.exec.faults import FaultPlan
 from repro.exec.mp import MultiprocessBackend
 from repro.exec.simulated import SimulatedBackend
 from repro.exec.transport import WorkerBoot
@@ -96,6 +111,14 @@ class ExecCounters:
     heartbeats: int = 0
     heartbeat_failures: int = 0
     backpressure_events: int = 0   # queue crossed the high watermark
+    rpc_retries: int = 0           # channel redeliveries (reads + writes)
+    rpc_timeouts: int = 0          # RPCs that missed a reply deadline
+    failovers: int = 0             # read-primary promotions
+    breaker_trips: int = 0         # circuit breakers opened
+    replica_deaths: int = 0        # replicas dropped from their shard
+    degraded_queries: int = 0      # answered from stale cached rows
+    queries_shed_stale: int = 0    # shed: staleness bound exceeded
+    captures_skipped: int = 0      # state capture skipped, shard down
 
 
 @dataclass(frozen=True)
@@ -165,6 +188,12 @@ class ExecRouter(QueryFrontend):
                  backpressure_ratio: float = 0.75,
                  heartbeat_interval_s: float | None = None,
                  pipeline: bool = True,
+                 replicas: int = 1,
+                 retry: RetryPolicy | None = None,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_s: float = 0.25,
+                 fault_plan: FaultPlan | None = None,
+                 max_staleness: int | None = None,
                  telemetry: Telemetry | None = None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         if plan is None:
@@ -177,6 +206,10 @@ class ExecRouter(QueryFrontend):
             raise ConfigError("max_inflight must be >= 1")
         if not 0.0 < backpressure_ratio <= 1.0:
             raise ConfigError("backpressure_ratio must be in (0, 1]")
+        if replicas < 1:
+            raise ConfigError("replicas must be >= 1")
+        if max_staleness is not None and max_staleness < 0:
+            raise ConfigError("max_staleness must be >= 0")
         self._init_frontend(max_batch_size, flush_latency_ms, clock,
                             telemetry)
         self.model = model
@@ -188,6 +221,16 @@ class ExecRouter(QueryFrontend):
         self.backpressure_ratio = backpressure_ratio
         self.heartbeat_interval_s = heartbeat_interval_s
         self.pipeline = pipeline
+        self.replicas_per_shard = replicas
+        self.fault_plan = fault_plan
+        self.max_staleness = max_staleness
+        self._retry_policy = retry
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        # degraded serving: per shard, (boundary embedding rows for the
+        # shard's block, counters.advances at capture time)
+        self._stale_cache: dict[int, tuple[np.ndarray, int]] = {}
+        self._blocks = [plan.block(s) for s in range(plan.num_shards)]
         self.ingestor = StreamIngestor(snapshot)
         self.counters = ExecCounters()
         self.traffic = HaloTraffic()
@@ -214,17 +257,28 @@ class ExecRouter(QueryFrontend):
         self.backend = _resolve_backend(backend)
         self.backend.attach(snapshot)
         features, dinv = derive_serving_features(snapshot)
-        self.transports = []
+        self.channels: list[ShardChannel] = []
         for s in range(plan.num_shards):
-            boot = WorkerBoot(shard_id=s, model=model, snapshot=snapshot,
-                              owner=plan.owner, num_shards=plan.num_shards,
-                              k_hops=self.k_hops, link_head=link_head,
-                              fraud_head=fraud_head, features=features,
-                              dinv=dinv)
-            transport = self.backend.spawn(boot, clock=self.clock)
-            # RPCs carry the router's trace context once tracing is on
-            transport.tracer = self.telemetry.tracer
-            self.transports.append(transport)
+            members = []
+            for r in range(replicas):
+                boot = WorkerBoot(shard_id=s, model=model,
+                                  snapshot=snapshot, owner=plan.owner,
+                                  num_shards=plan.num_shards,
+                                  k_hops=self.k_hops, link_head=link_head,
+                                  fraud_head=fraud_head, features=features,
+                                  dinv=dinv, replica_id=r)
+                transport = self.backend.spawn(boot, clock=self.clock)
+                # RPCs carry the router's trace context once tracing is on
+                transport.tracer = self.telemetry.tracer
+                if fault_plan is not None:
+                    transport = fault_plan.wrap(transport, shard=s,
+                                                replica=r)
+                members.append(transport)
+            self.channels.append(ShardChannel(
+                s, members, policy=retry,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown_s=breaker_cooldown_s,
+                clock=self.clock, on_event=self._channel_observer(s)))
         self._advance()  # prime embeddings for the initial snapshot
 
     # -- introspection ---------------------------------------------------------------
@@ -241,11 +295,28 @@ class ExecRouter(QueryFrontend):
         """True while the queue sits above the high watermark."""
         return self._backpressure
 
+    @property
+    def transports(self) -> list:
+        """Per-shard read primaries (back-compat view — the full
+        replica sets live in :attr:`channels`)."""
+        return [ch.primary for ch in self.channels]
+
+    def shard_staleness(self, shard: int) -> int:
+        """Boundaries behind the live tip this shard serves from:
+        0 while any replica lives, the cached-boundary lag while the
+        shard is down, -1 when down with nothing cached (unservable)."""
+        if self.channels[shard].alive:
+            return 0
+        cached = self._stale_cache.get(shard)
+        if cached is None:
+            return -1
+        return self.counters.advances - cached[1]
+
     def close(self) -> None:
         """Shut every worker down and release backend resources
         (shared-memory segments, processes)."""
-        for t in self.transports:
-            t.close()
+        for ch in self.channels:
+            ch.close()
         self.backend.close()
 
     def __enter__(self) -> "ExecRouter":
@@ -255,13 +326,51 @@ class ExecRouter(QueryFrontend):
         self.close()
 
     # -- RPC fan-out ------------------------------------------------------------------
+    def _channel_observer(self, shard: int):
+        """Counter sink for one shard channel's resilience events."""
+        label = str(shard)
+        reg = self.telemetry.registry
+        counters = self.counters
+
+        def observe(event: str, **kw) -> None:
+            if event == "retry":
+                counters.rpc_retries += 1
+                reg.counter("exec_rpc_retries_total",
+                            "RPC redeliveries (idempotent retries and "
+                            "sequenced write redeliveries)",
+                            shard=label).inc()
+            elif event == "timeout":
+                counters.rpc_timeouts += 1
+                reg.counter("exec_rpc_timeouts_total",
+                            "RPCs that missed their reply deadline",
+                            shard=label).inc()
+            elif event == "failover":
+                counters.failovers += 1
+                reg.counter("exec_failovers_total",
+                            "Read-primary promotions to a live replica",
+                            shard=label).inc()
+            elif event == "breaker_trip":
+                counters.breaker_trips += 1
+                reg.counter("exec_breaker_trips_total",
+                            "Circuit breakers tripped open",
+                            shard=label).inc()
+            elif event == "replica_dead":
+                counters.replica_deaths += 1
+                reg.counter("exec_replica_deaths_total",
+                            "Replicas dropped from their shard",
+                            shard=label).inc()
+        return observe
+
     def _fanout(self, method: str, args_fn, shards=None) -> tuple:
         """Issue one RPC per shard; returns ``({shard: result}, [dead])``.
 
         Pipelined mode submits everywhere before collecting anywhere —
         real workers overlap their execution.  Serialized mode
         (``pipeline=False``) finishes each worker before touching the
-        next, so busy clocks never include co-scheduling noise."""
+        next, so busy clocks never include co-scheduling noise.  Each
+        per-shard call goes through that shard's channel, which owns
+        retry, sequencing and replica failover; a shard lands in the
+        ``dead`` list only when *no* replica could serve it."""
         shards = list(range(self.num_shards)) if shards is None \
             else list(shards)
         results: dict = {}
@@ -274,13 +383,13 @@ class ExecRouter(QueryFrontend):
                 for s in shards:
                     try:
                         t0[s] = self.clock()
-                        self.transports[s].submit(method, *args_fn(s))
+                        self.channels[s].submit(method, *args_fn(s))
                         submitted.append(s)
                     except (WorkerDeadError, WorkerTimeoutError):
                         dead.append(s)
                 for s in submitted:
                     try:
-                        results[s] = self.transports[s].result()
+                        results[s] = self.channels[s].result()
                         self._rpc_latency[s].observe(
                             (self.clock() - t0[s]) * 1e3)
                     except (WorkerDeadError, WorkerTimeoutError):
@@ -289,7 +398,7 @@ class ExecRouter(QueryFrontend):
                 for s in shards:
                     t0 = self.clock()
                     try:
-                        results[s] = self.transports[s].call(
+                        results[s] = self.channels[s].call(
                             method, *args_fn(s))
                         self._rpc_latency[s].observe(
                             (self.clock() - t0) * 1e3)
@@ -333,26 +442,31 @@ class ExecRouter(QueryFrontend):
 
     # -- liveness ----------------------------------------------------------------------
     def heartbeat(self, timeout: float = 1.0) -> list[int]:
-        """Ping every worker; returns the shards that failed."""
+        """Ping every replica of every shard; returns the shards where
+        *no* replica answered.  A shard whose primary died but whose
+        replica ponged is healthy (the channel promotes on the next
+        read) and does not appear here."""
         self.counters.heartbeats += 1
         dead = []
-        for s, t in enumerate(self.transports):
-            if not t.ping(timeout=timeout):
+        for s, ch in enumerate(self.channels):
+            if not ch.ping(timeout=timeout):
                 self.counters.heartbeat_failures += 1
                 dead.append(s)
         return dead
 
     def tick(self) -> int:
         """Event-loop hook: heartbeat on schedule (reviving any dead
-        worker, then draining worker telemetry on the same cadence),
-        then the inherited latency-budget flush check."""
+        shard — or leaving it degraded when revival is impossible and
+        ``max_staleness`` allows stale serving — then draining worker
+        telemetry on the same cadence), then the inherited
+        latency-budget flush check."""
         if self.heartbeat_interval_s is not None:
             now = self.clock()
             if self._last_heartbeat is None or \
                     now - self._last_heartbeat >= self.heartbeat_interval_s:
                 self._last_heartbeat = now
                 for s in self.heartbeat():
-                    self._revive(s)
+                    self._revive_or_degrade(s)
                 self.harvest_telemetry()
         return super().tick()
 
@@ -367,17 +481,22 @@ class ExecRouter(QueryFrontend):
         delta-encoded and deduplicated by (source, seq), so nothing
         double-counts.  Returns the number of series updated."""
         updated = 0
-        for s, transport in enumerate(self.transports):
-            if not transport.alive:
-                continue
-            try:
-                harvest, spans = transport.telemetry()
-            except (WorkerDeadError, WorkerTimeoutError):
-                continue
-            updated += self.telemetry.registry.merge(
-                harvest, labels={"worker": str(s)})
-            if spans:
-                self.telemetry.tracer.graft(spans)
+        for s, ch in enumerate(self.channels):
+            for r, transport in enumerate(ch.replicas):
+                if not transport.alive:
+                    continue
+                try:
+                    harvest, spans = transport.telemetry()
+                except (WorkerDeadError, WorkerTimeoutError):
+                    continue
+                # primaries keep the bare shard label; extra replicas
+                # get "<shard>r<replica>" (their telemetry sources are
+                # distinct, so harvests never collide)
+                label = str(s) if r == 0 else f"{s}r{r}"
+                updated += self.telemetry.registry.merge(
+                    harvest, labels={"worker": label})
+                if spans:
+                    self.telemetry.tracer.graft(spans)
         return updated
 
     # -- ingestion --------------------------------------------------------------------
@@ -420,7 +539,9 @@ class ExecRouter(QueryFrontend):
                 entrants[s] = rows
                 self.counters.halo_dirty_rows += ghost_dirty
             for s in dead:
-                entrants[s] = self._revive(s)
+                revived = self._revive_or_degrade(s)
+                if revived is not None:
+                    entrants[s] = revived
             with self.telemetry.trace("serve.halo_sync", kind="entrants"):
                 self._sync_entrants(entrants)
             self.counters.events_ingested += result.num_events
@@ -452,15 +573,18 @@ class ExecRouter(QueryFrontend):
             # the full snapshot ships only when there is no delta for it
             ship = rebase if (rebase is not None and diff is None) else None
             _, dead = self._fanout("begin_advance", lambda s: (ship, diff))
-            self._require_all_alive(dead, "begin_advance")
+            down = self._tolerate_boundary_dead(dead, "begin_advance")
             if self.num_shards > 1:
                 with self.telemetry.trace("serve.halo_sync",
                                           kind="boundary"):
-                    self._sync_halos()
-            results, dead = self._fanout("finish_advance", lambda s: ())
-            self._require_all_alive(dead, "finish_advance")
+                    self._sync_halos(down=down)
+            live = [s for s in range(self.num_shards) if s not in down]
+            results, dead = self._fanout("finish_advance", lambda s: (),
+                                         shards=live)
+            down |= self._tolerate_boundary_dead(dead, "finish_advance")
             self.counters.rows_advanced += sum(results.values())
             self.counters.advances += 1
+            self._update_stale_cache(down)
 
     def _require_all_alive(self, dead: list[int], stage: str) -> None:
         if dead:
@@ -471,18 +595,51 @@ class ExecRouter(QueryFrontend):
                 f"shards {dead} died during {stage}; recover() the tier "
                 f"from its store")
 
-    # -- halo exchange (over transports) -----------------------------------------------
+    def _tolerate_boundary_dead(self, dead: list[int],
+                                stage: str) -> set:
+        """With degraded serving enabled, a shard lost at a boundary
+        simply stops advancing (its staleness grows); without it — or
+        with *every* shard gone — the boundary fails loudly."""
+        if not dead:
+            return set()
+        if self.max_staleness is None or len(dead) >= self.num_shards:
+            self._require_all_alive(dead, stage)
+        return set(dead)
+
+    def _update_stale_cache(self, down=frozenset()) -> None:
+        """Refresh the degraded-serving cache at a boundary: each live
+        shard's freshly advanced block embeddings, stamped with the
+        boundary ordinal so staleness is measured in whole timesteps."""
+        if self.max_staleness is None:
+            return
+        for s in range(self.num_shards):
+            if s in down or not self.channels[s].alive:
+                continue
+            try:
+                rows = self.channels[s].embedding_rows(self._blocks[s])
+            except (WorkerDeadError, WorkerTimeoutError):
+                continue
+            self._stale_cache[s] = (rows, self.counters.advances)
+
+    # -- halo exchange (over channels) -------------------------------------------------
     def _ship(self, target: int, rows: np.ndarray) -> None:
         if len(rows) == 0:
             return
+        if self.max_staleness is not None and \
+                not self.channels[target].alive:
+            return  # degraded shard: it will resync on revival
         owners = self.plan.owner[rows]
         for src in np.unique(owners):
             src = int(src)
             if src == target:
                 continue
+            if self.max_staleness is not None and \
+                    not self.channels[src].alive:
+                continue  # the owner is down: its ghost rows freeze
             chunk = rows[owners == src]
-            payload = self.transports[src].export_temporal(chunk)
-            nbytes = self.transports[target].import_temporal(chunk, payload)
+            payload = self.channels[src].call("export_temporal", chunk)
+            nbytes = self.channels[target].call("import_temporal",
+                                                chunk, payload)
             self.traffic.rows_shipped += len(chunk)
             self.traffic.bytes_shipped += nbytes
             self.traffic.messages += 1
@@ -490,9 +647,11 @@ class ExecRouter(QueryFrontend):
             self.traffic.bytes_per_shard[target] += nbytes
             self._comm_charge("halo", nbytes)
 
-    def _sync_halos(self) -> None:
-        halos, dead = self._fanout("halo_rows", lambda s: ())
-        self._require_all_alive(dead, "halo sync")
+    def _sync_halos(self, down=frozenset()) -> None:
+        live = [s for s in range(self.num_shards) if s not in down]
+        halos, dead = self._fanout("halo_rows", lambda s: (), shards=live)
+        if self.max_staleness is None:
+            self._require_all_alive(dead, "halo sync")
         for target in sorted(halos):
             self._ship(target, halos[target])
         self.traffic.boundary_syncs += 1
@@ -508,43 +667,87 @@ class ExecRouter(QueryFrontend):
 
     # -- queries ----------------------------------------------------------------------
     def flush(self) -> int:
-        """Route and answer one micro-batch; a worker death mid-batch
-        triggers revival and a single retry of the whole batch."""
+        """Route and answer one micro-batch.  A worker death mid-batch
+        triggers revival (or, with degraded serving enabled, leaves the
+        shard down) and a single retry of the whole batch; a batch the
+        tier still cannot answer is *aborted* — every unresolved query
+        resolves shed — so admission slots always release instead of
+        leaking with their callers parked forever."""
         if not self._queue:
             return 0
         batch, self._queue = self._queue[:self.max_batch_size], \
             self._queue[self.max_batch_size:]
         with self.telemetry.trace("exec.dispatch", batch=len(batch)):
             try:
-                self._answer_batch(batch)
+                self._answer_batch(batch, down=self._down_shards())
             except (WorkerDeadError, WorkerTimeoutError):
-                for s in range(self.num_shards):
-                    if not self.transports[s].alive:
-                        self._revive(s)
-                self._answer_batch(batch)
+                try:
+                    down = set()
+                    for s in range(self.num_shards):
+                        if not self.channels[s].alive and \
+                                self._revive_or_degrade(s) is None and \
+                                not self.channels[s].alive:
+                            down.add(s)
+                    self._answer_batch(batch, down=down)
+                except (ExecError, StoreError):
+                    self._abort_batch(batch)
+                    raise
         self._signal_backpressure()
         if self._queue:
             return len(batch) + self.flush()
         return len(batch)
 
-    def _answer_batch(self, batch: list) -> None:
+    def _down_shards(self) -> set:
+        if self.max_staleness is None:
+            return set()
+        return {s for s in range(self.num_shards)
+                if not self.channels[s].alive}
+
+    def _abort_batch(self, batch: list) -> None:
+        """Resolve every unanswered query in a failed batch as shed:
+        the caller gets a definitive (empty) answer and the admission
+        slot it held is released.  Without this, a batch that died
+        twice — e.g. on an RPC timeout with revival impossible — left
+        its queries dangling and the in-flight queue permanently
+        smaller."""
+        for q in batch:
+            if not q.done:
+                q.shed = True
+                q.done = True
+                self.counters.queries_shed += 1
+
+    def _answer_batch(self, batch: list, down=frozenset()) -> None:
         with self.telemetry.trace("exec.coalesce", batch=len(batch)):
             link_by_shard: dict[int, list] = {}
             fraud_by_shard: dict[int, list] = {}
             needed = set()
+            degraded: list = []
             for q in batch:
+                if q.done:
+                    continue  # resolved by an earlier batch attempt
                 if q.kind == "link":
                     src, dst = q.payload
                     s = int(self.plan.owner[src])
+                    sd = int(self.plan.owner[dst])
+                    self._per_shard_queries[s] += 1
+                    if s in down or sd in down:
+                        degraded.append(q)
+                        # live endpoints still need a refresh before
+                        # their rows are read for the stale answer
+                        needed.update(e for e in (s, sd)
+                                      if e not in down)
+                        continue
                     link_by_shard.setdefault(s, []).append(q)
                     needed.add(s)
-                    needed.add(int(self.plan.owner[dst]))
-                    self._per_shard_queries[s] += 1
+                    needed.add(sd)
                 else:
                     s = int(self.plan.owner[q.payload[0]])
+                    self._per_shard_queries[s] += 1
+                    if s in down:
+                        degraded.append(q)
+                        continue
                     fraud_by_shard.setdefault(s, []).append(q)
                     needed.add(s)
-                    self._per_shard_queries[s] += 1
         # every touched shard consumes its dirty set before any of its
         # embeddings are read — one pipelined refresh round-trip
         results, dead = self._fanout("refresh", lambda s: (),
@@ -555,6 +758,8 @@ class ExecRouter(QueryFrontend):
             if recomputed:
                 self.counters.refreshes += 1
                 self.counters.rows_recomputed += recomputed
+        if degraded:
+            self._answer_degraded(degraded, down)
         # gather the remote link endpoints first (shared-memory reads
         # for the real backend), then pipeline one score RPC per shard
         scoring = sorted(set(link_by_shard) | set(fraud_by_shard))
@@ -583,10 +788,61 @@ class ExecRouter(QueryFrontend):
                 q._resolve(score, now)
             for q, score in zip(frauds, fraud_scores):
                 q._resolve(score, now)
+        answered = 0
         for q in batch:
+            if q.shed:
+                continue
             self.latency.record(q.latency_ms)
-        self.counters.queries_completed += len(batch)
+            answered += 1
+        self.counters.queries_completed += answered
         self.counters.batches_flushed += 1
+
+    def _answer_degraded(self, queries: list, down) -> None:
+        """Bounded-staleness serving for queries touching down shards:
+        answer from the last boundary's cached embeddings, stamp each
+        result with how many boundaries behind the tip it is, and shed
+        anything staler than ``max_staleness`` (or unservable because
+        nothing was ever cached)."""
+        now = self.clock()
+        for q in queries:
+            if q.done:
+                continue
+            vertices = list(q.payload) if q.kind == "link" \
+                else [q.payload[0]]
+            staleness = 0
+            vecs = []
+            servable = True
+            for v in vertices:
+                s = int(self.plan.owner[v])
+                if s in down:
+                    cached = self._stale_cache.get(s)
+                    lag = self.shard_staleness(s)
+                    if cached is None or lag > self.max_staleness:
+                        servable = False
+                        break
+                    rows, _ = cached
+                    idx = int(np.searchsorted(self._blocks[s], v))
+                    vecs.append(rows[idx])
+                    staleness = max(staleness, lag)
+                else:
+                    vecs.append(self.channels[s].embedding_rows(
+                        np.array([v], dtype=np.int64))[0])
+            if not servable:
+                q.shed = True
+                q.done = True
+                self.counters.queries_shed += 1
+                self.counters.queries_shed_stale += 1
+                continue
+            z = np.stack(vecs)
+            if q.kind == "link":
+                score = score_links(
+                    z, np.array([[0, 1]]), self.link_head)[0]
+            else:
+                score = score_fraud(
+                    z, np.array([0], dtype=np.int64), self.fraud_head)[0]
+            q.staleness = staleness
+            q._resolve(score, now)
+            self.counters.degraded_queries += 1
 
     def _gather_rows(self, rows: np.ndarray, home: int) -> np.ndarray:
         owners = self.plan.owner[rows]
@@ -594,7 +850,7 @@ class ExecRouter(QueryFrontend):
         for s in np.unique(owners):
             s = int(s)
             mask = owners == s
-            got = self.transports[s].embedding_rows(rows[mask])
+            got = self.channels[s].embedding_rows(rows[mask])
             out[mask] = got
             if s != home:
                 self.counters.remote_row_fetches += int(mask.sum())
@@ -609,8 +865,8 @@ class ExecRouter(QueryFrontend):
         self._require_all_alive(dead, "gather")
         out = np.empty((self.num_vertices, self.model.embed_dim))
         for s in range(self.num_shards):
-            block = self.plan.block(s)
-            out[block] = self.transports[s].embedding_rows(block)
+            block = self._blocks[s]
+            out[block] = self.channels[s].embedding_rows(block)
         return out
 
     # -- durability / recovery ---------------------------------------------------------
@@ -621,7 +877,7 @@ class ExecRouter(QueryFrontend):
         steps = int(exports[0][2])
         meta: dict = {"type": "sharded", "engine_kind": kind,
                       "steps": steps, "num_shards": self.num_shards,
-                      "replicas": 1,
+                      "replicas": self.replicas_per_shard,
                       "num_layers": self.model.num_layers, "shards": []}
         arrays: dict = {"owner": np.array(self.plan.owner, copy=True)}
         dirty = _EMPTY
@@ -655,6 +911,29 @@ class ExecRouter(QueryFrontend):
                                   state_interval)
         return router
 
+    def _store_maybe_capture(self) -> None:
+        # a capture needs every shard's export; with a shard down the
+        # boundary still seals, but the capture waits for revival
+        if any(not ch.alive for ch in self.channels):
+            if self.store is not None and not self._store_replaying:
+                self.counters.captures_skipped += 1
+            return
+        super()._store_maybe_capture()
+
+    def _revive_or_degrade(self, shard: int) -> np.ndarray | None:
+        """Try crash recovery for one down shard; with degraded serving
+        enabled, a shard that cannot be revived (no store, no usable
+        capture, boundary-spanning tail) is left down — its queries
+        serve stale until it can be brought back — instead of failing
+        the calling operation.  Returns the revival's entrant rows, or
+        ``None`` when the shard stays down."""
+        try:
+            return self._revive(shard)
+        except (ExecError, StoreError):
+            if self.max_staleness is None:
+                raise
+            return None
+
     def _revive(self, shard: int) -> np.ndarray:
         """Respawn one dead worker from the latest capture + WAL tail.
 
@@ -677,7 +956,8 @@ class ExecRouter(QueryFrontend):
             raise ExecError(
                 "latest capture was taken under a different shard plan; "
                 "recover() the tier instead")
-        self.transports[shard].close()
+        channel = self.channels[shard]
+        channel.close()
         resident = self.store._state_at_record(meta["record_index"])
         boot = WorkerBoot(shard_id=shard, model=self.model,
                           snapshot=resident, owner=self.plan.owner,
@@ -688,8 +968,14 @@ class ExecRouter(QueryFrontend):
         # it must not rebuild a shared substrate to its older resident
         transport = self.backend.spawn(boot, solo=True, clock=self.clock)
         transport.tracer = self.telemetry.tracer
-        self.transports[shard] = transport
-        transport.adopt_state(exports, int(meta["steps"]), dirty)
+        if self.fault_plan is not None:
+            # chaos does not pause for revivals; a fresh RNG stream
+            # keeps the replayed storm deterministic per incarnation
+            transport = self.fault_plan.wrap(
+                transport, shard=shard, replica=0,
+                stream=self.counters.worker_restarts + 1)
+        channel.reset([transport])
+        channel.call("adopt_state", exports, int(meta["steps"]), dirty)
         entrants = _EMPTY
         ingestor = StreamIngestor(resident)
         for op, payload in self.store.replay_tail(meta["record_index"],
@@ -702,7 +988,8 @@ class ExecRouter(QueryFrontend):
             result = ingestor.commit()
             dirty_rows = expand_dirty(result.snapshot, result.dirty,
                                       self.k_hops)
-            entrants, _ = transport.apply_delta(result.diff, dirty_rows)
+            entrants, _ = channel.call("apply_delta", result.diff,
+                                       dirty_rows)
         self.counters.worker_restarts += 1
         return entrants
 
@@ -723,6 +1010,21 @@ class ExecRouter(QueryFrontend):
             reg.gauge("exec_inflight_limit",
                       "Admission-control queue bound").set(
                 self.max_inflight)
+        reg.gauge("exec_replicas_configured",
+                  "Replicas per shard the tier was built with").set(
+            self.replicas_per_shard)
+        for s, ch in enumerate(self.channels):
+            label = str(s)
+            reg.gauge("exec_replicas_live", "Live replicas per shard",
+                      shard=label).set(len(ch._live()))
+            reg.gauge("exec_shard_down",
+                      "1 while the shard has no live replica",
+                      shard=label).set(0.0 if ch.alive else 1.0)
+            if self.max_staleness is not None:
+                reg.gauge("exec_shard_staleness_steps",
+                          "Boundaries behind the tip the shard serves "
+                          "from (-1 = down and unservable)",
+                          shard=label).set(self.shard_staleness(s))
         for s, t in enumerate(self.transports):
             label = str(s)
             reg.counter("exec_rpc_roundtrips_total",

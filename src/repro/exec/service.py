@@ -23,6 +23,7 @@ it exactly.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Callable
 
 import numpy as np
@@ -71,12 +72,23 @@ class WorkerService:
         # the worker's own telemetry: its registry is harvested (and
         # its finished spans shipped) through the `telemetry` RPC verb;
         # node/source name this worker in span ids / harvest envelopes
+        # replicas of one shard need distinct telemetry sources, or the
+        # router's harvest dedup (keyed on source+seq) would collide
+        name = f"worker{boot.shard_id}" if boot.replica_id == 0 else \
+            f"worker{boot.shard_id}r{boot.replica_id}"
         self.telemetry = telemetry if telemetry is not None else \
-            Telemetry(node=f"worker{boot.shard_id}",
-                      source=f"worker{boot.shard_id}")
+            Telemetry(node=name, source=name)
         # per-verb RPC accounting (cheap load signal, see rpc_stats)
         self.rpc_calls: dict[str, int] = {}
         self.rpc_payload_bytes: dict[str, int] = {}
+        # exactly-once dedup for sequenced (mutating) verbs: recently
+        # applied call ids map to their cached replies, so an
+        # at-least-once redelivery answers from here instead of
+        # re-executing.  Retries are immediate and per-shard call ids
+        # are monotonic, so a small window is plenty.
+        self._applied: OrderedDict[int, object] = OrderedDict()
+        self._dedup_window = 32
+        self.rpc_deduped = 0
         # the local resident mirror (real-worker path); the substrate
         # path reads the shared snapshot instead and never touches these
         self.resident = boot.snapshot
@@ -113,30 +125,48 @@ class WorkerService:
         return self.resident, self._features, self._dinv
 
     # -- RPC surface (dispatch targets) -----------------------------------------------
-    def dispatch(self, method: str, args: tuple, ctx: tuple | None = None):
+    def dispatch(self, method: str, args: tuple, ctx: tuple | None = None,
+                 seq: int | None = None):
         """Serve one RPC.  ``ctx`` is the caller's trace context (a
         ``(trace_id, span_id)`` envelope); when present the handler
         runs under a ``worker.rpc`` > ``worker.<method>`` span pair
         parented beneath the router's ``exec.rpc`` span, and the
-        finished spans ship back on the next telemetry drain."""
+        finished spans ship back on the next telemetry drain.
+
+        ``seq`` is the router's per-shard monotonic call id for
+        mutating verbs.  A redelivered id (retry of a call whose reply
+        was lost, or a duplicated wire frame) answers from the reply
+        cache without touching worker state — at-least-once delivery
+        plus this dedup is the tier's exactly-once application story.
+        Only *successful* calls record their id: a failed apply leaves
+        no state change, so the retry must genuinely re-execute."""
         handler = getattr(self, f"rpc_{method}", None)
         if handler is None:
             raise ExecError(f"unknown RPC method {method!r}")
         self.rpc_calls[method] = self.rpc_calls.get(method, 0) + 1
         self.rpc_payload_bytes[method] = \
             self.rpc_payload_bytes.get(method, 0) + payload_nbytes(args)
+        if seq is not None and seq in self._applied:
+            self.rpc_deduped += 1
+            return self._applied[seq]
         if ctx is None:
-            return handler(*args)
-        tracer = self.telemetry.tracer
-        was_enabled = tracer.enabled
-        tracer.enabled = True  # the caller traces, so this worker does
-        try:
-            with tracer.trace("worker.rpc", parent=ctx, method=method,
-                              shard=self.shard_id):
-                with tracer.trace(f"worker.{method}"):
-                    return handler(*args)
-        finally:
-            tracer.enabled = was_enabled
+            out = handler(*args)
+        else:
+            tracer = self.telemetry.tracer
+            was_enabled = tracer.enabled
+            tracer.enabled = True  # the caller traces, so this worker does
+            try:
+                with tracer.trace("worker.rpc", parent=ctx, method=method,
+                                  shard=self.shard_id):
+                    with tracer.trace(f"worker.{method}"):
+                        out = handler(*args)
+            finally:
+                tracer.enabled = was_enabled
+        if seq is not None:
+            self._applied[seq] = out
+            while len(self._applied) > self._dedup_window:
+                self._applied.popitem(last=False)
+        return out
 
     def rpc_begin_advance(self, snapshot, diff) -> None:
         if self.substrate is None:
@@ -230,6 +260,9 @@ class WorkerService:
         reg.gauge("worker_coverage_rows",
                   "Rows this worker covers (owned + halo)").set(
             len(w.engine.coverage))
+        reg.counter("worker_rpc_deduped_total",
+                    "Sequenced RPCs answered from the reply cache "
+                    "(duplicate call ids)").set_to(self.rpc_deduped)
         for verb in sorted(self.rpc_calls):
             reg.counter("worker_rpc_calls_total",
                         "RPCs served, by verb",

@@ -50,7 +50,7 @@ class LocalTransport(WorkerTransport):
         self._pending: tuple | None = None
         self._dead = False
 
-    def submit(self, method: str, *args) -> None:
+    def submit(self, method: str, *args, seq: int | None = None) -> None:
         if self._pending is not None:
             raise WorkerDeadError(
                 f"shard {self.shard_id}: RPC already pending")
@@ -60,7 +60,7 @@ class LocalTransport(WorkerTransport):
         self.stats.bytes_sent += payload_nbytes(args)
         try:
             out = self.service.dispatch(method, args,
-                                        self._trace_context())
+                                        self._trace_context(), seq=seq)
             self._pending = ("ok", out)
         except Exception as exc:  # parked, re-raised at result()
             self._pending = ("err", exc)

@@ -74,6 +74,10 @@ class WorkerBoot:
     fraud_head: Linear | None = None
     features: np.ndarray | None = None
     dinv: np.ndarray | None = None
+    # which replica of the shard this worker is (0 = the initial
+    # primary); only telemetry naming depends on it — replicas are
+    # numerically identical by construction
+    replica_id: int = 0
 
     @property
     def block(self) -> np.ndarray:
@@ -144,14 +148,19 @@ class WorkerTransport:
             return None
         return self.tracer.current_context()
 
-    def submit(self, method: str, *args) -> None:
+    def submit(self, method: str, *args, seq: int | None = None) -> None:
+        """Post one RPC.  ``seq`` is the caller's per-shard monotonic
+        call id for mutating verbs: the worker remembers the ids it has
+        applied and answers a redelivery from its reply cache instead of
+        re-executing (see :meth:`WorkerService.dispatch`), which is what
+        makes at-least-once retry safe for non-idempotent verbs."""
         raise NotImplementedError
 
     def result(self):
         raise NotImplementedError
 
-    def call(self, method: str, *args):
-        self.submit(method, *args)
+    def call(self, method: str, *args, seq: int | None = None):
+        self.submit(method, *args, seq=seq)
         return self.result()
 
     # -- lifecycle ------------------------------------------------------------------

@@ -89,6 +89,10 @@ class PendingQuery:
     # set by admission control (exec tier): the query was rejected at
     # submit time to protect latency; ``done`` is True, ``result`` None
     shed: bool = False
+    # set by degraded serving (exec tier): how many timestep boundaries
+    # behind the live tip the answering embeddings were.  0 means fully
+    # fresh; None means the query never went through a degraded path.
+    staleness: int | None = None
 
     def _resolve(self, value: float, now: float) -> None:
         self.result = float(value)

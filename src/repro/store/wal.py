@@ -8,10 +8,15 @@ where the CRC covers the payload bytes.  Appends go to the tail only;
 nothing is ever rewritten in place.  A crash mid-append leaves a torn
 record at the tail, which :meth:`DeltaLog.scan` detects (bad magic,
 short payload, or CRC mismatch) and treats as end-of-log; the next
-append truncates the torn bytes first.  Corruption *before* the valid
-tail is indistinguishable from truncation during the initial scan, so
-the log length is simply "everything up to the first bad frame" — the
-standard WAL recovery contract.
+append truncates the torn bytes first.
+
+A bad frame *followed by more valid log* is a different animal: a torn
+tail is the last thing in the file by construction (appends are
+tail-only), so valid frames after a bad one mean acknowledged history
+was damaged in place — a flipped bit, a hole punched mid-file.  The
+scan probes past every bad frame and raises
+:class:`~repro.errors.StoreCorruption` if any later frame still parses,
+instead of silently truncating replay at the damage point.
 
 Payload semantics live one layer up (:mod:`repro.store.codec`); this
 module only knows bytes and kinds.
@@ -25,7 +30,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import StoreError
+from repro.errors import StoreCorruption, StoreError
 
 __all__ = ["DeltaLog", "WalRecord",
            "KIND_META", "KIND_DIFF", "KIND_EVENTS", "KIND_SEAL",
@@ -115,6 +120,9 @@ class DeltaLog:
 
     def _scan_file(self) -> Iterator[WalRecord]:
         with open(self.path, "rb") as fh:
+            fh.seek(0, 2)
+            file_size = fh.tell()
+            fh.seek(0)
             index = 0
             offset = 0
             while True:
@@ -123,14 +131,57 @@ class DeltaLog:
                     return  # clean end or torn header
                 magic, kind, length, crc = _HEADER.unpack(header)
                 if magic != MAGIC or kind not in _KNOWN_KINDS:
+                    self._check_interior(index, offset)
                     return  # torn/garbage tail
-                payload = fh.read(length)
+                # a garbage length (bit-flipped header that still passed
+                # the magic/kind check) must not drive a huge allocation;
+                # cap the read at what the file can actually hold
+                remaining = file_size - offset - _HEADER.size
+                payload = fh.read(min(length, max(remaining, 0)))
                 if len(payload) < length or \
                         zlib.crc32(payload) != crc:
+                    self._check_interior(index, offset)
                     return  # torn payload
                 yield WalRecord(index, kind, payload, offset)
                 index += 1
                 offset += _HEADER.size + length
+
+    def _check_interior(self, index: int, offset: int) -> None:
+        """Distinguish a torn tail from interior corruption at a bad
+        frame starting at ``offset``.
+
+        Appends are tail-only, so a torn frame is the *last* thing in
+        the file.  If any complete, CRC-valid frame still parses past
+        the damage point — the bad frame's own claimed extent, or any
+        later magic position (a mid-file truncation shifts the
+        survivors) — then acknowledged history was corrupted in place
+        and replay must not quietly stop at record ``index``."""
+        with open(self.path, "rb") as fh:
+            rest = fh.read()
+        probe = offset + 1
+        while True:
+            hit = rest.find(MAGIC, probe)
+            if hit < 0:
+                return  # nothing valid follows: a genuine torn tail
+            if self._frame_parses(rest, hit):
+                raise StoreCorruption(
+                    f"WAL record #{index} (offset {offset}) is corrupt "
+                    f"but valid log continues at offset {hit}: interior "
+                    f"corruption, not a torn tail")
+            probe = hit + 1
+
+    @staticmethod
+    def _frame_parses(data: bytes, offset: int) -> bool:
+        if offset + _HEADER.size > len(data):
+            return False
+        magic, kind, length, crc = _HEADER.unpack(
+            data[offset:offset + _HEADER.size])
+        if magic != MAGIC or kind not in _KNOWN_KINDS:
+            return False
+        start = offset + _HEADER.size
+        if start + length > len(data):
+            return False
+        return zlib.crc32(data[start:start + length]) == crc
 
     def scan(self) -> Iterator[WalRecord]:
         """Iterate every valid record from the head of the log."""
@@ -157,7 +208,10 @@ class DeltaLog:
                 payload = fh.read(h_length)
                 if magic != MAGIC or h_kind != kind or \
                         h_length != length or zlib.crc32(payload) != crc:
-                    raise StoreError(f"log record #{index} is corrupt")
+                    # the index says this record was valid when scanned:
+                    # failing now is damage, never a torn tail
+                    raise StoreCorruption(
+                        f"log record #{index} is corrupt")
                 yield WalRecord(index, kind, payload, offset)
 
     def read(self, index: int) -> WalRecord:
@@ -173,7 +227,7 @@ class DeltaLog:
             payload = fh.read(h_length)
         if magic != MAGIC or h_kind != kind or h_length != length or \
                 zlib.crc32(payload) != crc:
-            raise StoreError(f"log record #{index} is corrupt")
+            raise StoreCorruption(f"log record #{index} is corrupt")
         return WalRecord(index, kind, payload, offset)
 
     # -- appending --------------------------------------------------------------------

@@ -11,7 +11,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.errors import StoreError
+from repro.errors import StoreCorruption, StoreError
 from repro.graph import (AMLSimConfig, GraphSnapshot, diff_snapshots,
                          evolving_dtdg, generate_amlsim)
 from repro.serve.ingest import EdgeEvent, events_between
@@ -154,9 +154,26 @@ class TestChecksums:
         with open(store.wal.path, "r+b") as fh:
             fh.seek(record.offset + 60)
             fh.write(b"\xff\xff")
-        reopened_log_len = len(GraphStore.open(str(tmp_path / "s"))._seals)
-        # the log is cut at the corrupt frame: later records unreachable
-        assert reopened_log_len < store.num_timesteps
+        # valid acknowledged history follows the damaged frame, so this
+        # is interior corruption: reopening must refuse loudly instead
+        # of silently truncating replay at the damage point
+        with pytest.raises(StoreCorruption):
+            GraphStore.open(str(tmp_path / "s"))
+
+    def test_materialize_surfaces_corruption(self, aml20, tmp_path):
+        """Damage inflicted *after* the store is open (the index still
+        trusts the frame) must surface as StoreCorruption the moment
+        replay walks over it, not as a silently wrong snapshot."""
+        store = GraphStore.from_dtdg(str(tmp_path / "s"), aml20,
+                                     base_interval=None)
+        record = store.wal.read(3)
+        with open(store.wal.path, "r+b") as fh:
+            fh.seek(record.offset + 60)
+            fh.write(b"\xff\xff")
+        with pytest.raises(StoreCorruption):
+            store.replay_to(aml20.num_timesteps - 1)
+        with pytest.raises(StoreCorruption):
+            store.materialize(aml20.num_timesteps - 2, cached=False)
 
     def test_store_requires_header(self, tmp_path):
         path = tmp_path / "s"

@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.errors import StoreError
+from repro.errors import StoreCorruption, StoreError
 from repro.store import DeltaLog
 from repro.store.wal import (KIND_DIFF, KIND_EVENTS, KIND_META, KIND_SEAL,
                              MAGIC, _HEADER)
@@ -134,3 +134,70 @@ class TestCrashTolerance:
             fh.write(b"Z")
         with pytest.raises(StoreError):
             log.read(0)
+
+
+class TestInteriorCorruption:
+    """A bad frame *followed by valid log* is damage to acknowledged
+    history, never a torn tail — reopening must refuse loudly instead
+    of silently truncating replay at the damage point."""
+
+    def _three_records(self, path):
+        log = DeltaLog(path)
+        log.append(KIND_META, b"m")
+        off1 = log.nbytes
+        log.append(KIND_DIFF, b"d" * 64)
+        off2 = log.nbytes
+        log.append(KIND_SEAL, b"s" * 32)
+        return log, off1, off2
+
+    def test_midlog_payload_bitflip_raises(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        _, off1, _ = self._three_records(path)
+        with open(path, "r+b") as fh:
+            fh.seek(off1 + _HEADER.size + 5)
+            fh.write(b"\xff")
+        with pytest.raises(StoreCorruption):
+            DeltaLog(path)
+
+    def test_midlog_header_damage_raises(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        _, off1, _ = self._three_records(path)
+        with open(path, "r+b") as fh:
+            fh.seek(off1 + 4)  # the kind byte
+            fh.write(b"\x63")
+        with pytest.raises(StoreCorruption):
+            DeltaLog(path)
+
+    def test_midlog_truncation_raises(self, tmp_path):
+        """Bytes punched out of the middle shift the surviving frames
+        left; the probe still finds them and refuses the log."""
+        path = str(tmp_path / "w.log")
+        _, off1, off2 = self._three_records(path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:off1 + 8] + data[off2:])
+        with pytest.raises(StoreCorruption):
+            DeltaLog(path)
+
+    def test_corruption_is_typed(self, tmp_path):
+        """StoreCorruption specializes StoreError, so existing broad
+        handlers still catch it while new code can distinguish."""
+        assert issubclass(StoreCorruption, StoreError)
+        path = str(tmp_path / "w.log")
+        _, off1, _ = self._three_records(path)
+        with open(path, "r+b") as fh:
+            fh.seek(off1 + _HEADER.size)
+            fh.write(b"\x00")
+        with pytest.raises(StoreError):
+            DeltaLog(path)
+
+    def test_tail_corruption_still_tolerated(self, tmp_path):
+        """Damage to the *last* frame with nothing valid after it is
+        indistinguishable from a torn append and stays tolerated."""
+        path = str(tmp_path / "w.log")
+        _, _, off2 = self._three_records(path)
+        with open(path, "r+b") as fh:
+            fh.seek(off2 + _HEADER.size)
+            fh.write(b"\xff")
+        assert DeltaLog(path).num_records == 2
