@@ -14,6 +14,16 @@ Three headline comparisons, all on the AML-Sim serving workload:
   row-sliced refresh of the dirty rows, vs full-rebuild operator plus
   full-matrix recompute (the ``incremental=False`` baseline path).
 
+A fourth section times every *registered kernel backend*
+(:mod:`repro.tensor.backend`) against the reference implementation on
+the same resident operator — one row per backend × kernel
+(``spmm``, ``spmm_rows``, ``spmm_rows_bwd``, ``spmm_patch``,
+``transpose``, ``maintainer_commit``) — and records the matrix under
+``backend_matrix`` in ``BENCH_kernels.json``.  Matrix entries use the
+unguarded ``us`` / ``vs_reference`` key names on purpose: which
+backends are available varies by machine (numba is CI-matrix-only), and
+the perf guard must not fail on a backend the runner doesn't have.
+
 Each comparison also reports the maximum absolute divergence against
 the full-recompute reference — the kernels are exactness-preserving,
 so these must be ~0 (≤ 1e-9 is the acceptance bar).  Results land in
@@ -36,6 +46,7 @@ from repro.models import build_model
 from repro.serve.cache import expand_dirty
 from repro.serve.engine import InferenceEngine
 from repro.serve.ingest import StreamIngestor, events_between
+from repro.tensor.backend import available_backends, get_backend
 from repro.tensor.sparse import SparseMatrix, spmm, spmm_rows
 
 __all__ = ["KernelWorkloadConfig", "KernelsBenchResult",
@@ -94,6 +105,9 @@ class KernelsBenchResult:
     refresh_full_s: float
     refresh_divergence: float
     num_refreshes: int
+    # per-backend × per-kernel matrix: {backend: {kernel: {"us", ...,
+    # "vs_reference"}, "max_divergence": float}}
+    backend_matrix: dict
 
     @property
     def inc_speedup(self) -> float:
@@ -168,19 +182,22 @@ def _bench_inc_laplacian(dtdg, commits, config):
     return inc_s, full_s, worst, avg_delta, int(m.laplacian.nnz), m
 
 
-def _bench_spmm_rows(dtdg, commits, maintainer, config):
-    """Row-sliced SpMM over a dirty frontier vs the full multiply."""
+def _frontier_rows(commits) -> np.ndarray:
+    """A representative dirty frontier: the last commit's touched
+    endpoints expanded by a 2-layer model's invalidation radius."""
     last, delta = commits[-1]
-    lap = maintainer.laplacian
-    rng = np.random.default_rng(config.seed + 13)
-    x = rng.standard_normal((dtdg.num_vertices, config.feature_dim))
-    # a representative dirty frontier: the last commit's touched
-    # endpoints expanded by a 2-layer model's invalidation radius
     touched = np.unique(np.concatenate(
         [delta.removed, delta.added]).ravel()) \
         if len(delta.removed) + len(delta.added) \
         else np.empty(0, dtype=np.int64)
-    rows = expand_dirty(last, touched, hops=2)
+    return expand_dirty(last, touched, hops=2)
+
+
+def _bench_spmm_rows(dtdg, commits, maintainer, rows, config):
+    """Row-sliced SpMM over a dirty frontier vs the full multiply."""
+    lap = maintainer.laplacian
+    rng = np.random.default_rng(config.seed + 13)
+    x = rng.standard_normal((dtdg.num_vertices, config.feature_dim))
 
     def full_pass():
         for _ in range(config.spmm_repeats):
@@ -195,6 +212,77 @@ def _bench_spmm_rows(dtdg, commits, maintainer, config):
     div = float(np.abs(spmm(lap, x).data[rows]
                        - spmm_rows(lap, x, rows).data).max())
     return sliced_s, full_s, div, len(rows)
+
+
+def _bench_backend_matrix(dtdg, commits, maintainer, rows, config):
+    """Every available kernel backend × every hot kernel, timed against
+    reference on the same resident operator and dirty frontier.
+
+    ``spmm_patch`` is the serving patch path with the base memcpy
+    excluded (the backends only differ in the fused row recompute +
+    scatter; the copy is backend-invariant); ``spmm_rows`` is the
+    fused gather-GEMM alone.
+    """
+    csr = maintainer.laplacian.csr
+    n = dtdg.num_vertices
+    rng = np.random.default_rng(config.seed + 29)
+    x = np.ascontiguousarray(
+        rng.standard_normal((n, config.feature_dim)))
+    g = np.ascontiguousarray(
+        rng.standard_normal((len(rows), config.feature_dim)))
+    base = np.ascontiguousarray(rng.standard_normal(x.shape))
+    repeats = config.spmm_repeats
+
+    def timers(kb):
+        patch_out = base.copy()
+
+        def patch():
+            patch_out[rows], _ = kb.spmm_rows(csr, rows, x)
+            return patch_out
+        return {
+            "spmm": lambda: kb.spmm(csr, x),
+            "spmm_rows": lambda: kb.spmm_rows(csr, rows, x)[0],
+            "spmm_rows_bwd": lambda: kb.spmm_rows_t(csr, rows, g, None),
+            "spmm_patch": patch,
+            "transpose": lambda: kb.transpose(csr),
+        }
+
+    def commit_replay(kb):
+        m = LaplacianMaintainer(dtdg[0], backend=kb)
+        for snap, diff in commits:
+            m.update(snap, diff)
+
+    ref = get_backend("reference")
+    ref_outs = {k: np.asarray(fn()) for k, fn in timers(ref).items()
+                if k != "transpose"}
+    matrix = {}
+    for name in available_backends():
+        kb = get_backend(name)
+        entry = {}
+        worst = 0.0
+        for kernel, fn in timers(kb).items():
+            out = fn()
+            if kernel == "transpose":
+                delta = out - ref.transpose(csr)
+                if delta.nnz:
+                    worst = max(worst, float(np.abs(delta.data).max()))
+            else:
+                worst = max(worst, float(np.abs(
+                    np.asarray(out) - ref_outs[kernel]).max()))
+            secs = _best_of(lambda: [fn() for _ in range(repeats)],
+                            config.rounds)
+            entry[kernel] = {"us": round(secs * 1e6 / repeats, 3)}
+        secs = _best_of(lambda: commit_replay(kb), config.rounds)
+        entry["maintainer_commit"] = {
+            "us": round(secs * 1e6 / len(commits), 3)}
+        entry["max_divergence"] = worst
+        matrix[name] = entry
+    for name, entry in matrix.items():
+        for kernel, cell in entry.items():
+            if isinstance(cell, dict):
+                cell["vs_reference"] = round(
+                    matrix["reference"][kernel]["us"] / cell["us"], 3)
+    return matrix
 
 
 def _bench_serving_refresh(dtdg, config):
@@ -244,8 +332,11 @@ def run_kernels_benchmark(config: KernelWorkloadConfig | None = None,
 
     inc_s, full_s, inc_div, avg_delta, nnz, maintainer = \
         _bench_inc_laplacian(dtdg, commits, config)
+    frontier = _frontier_rows(commits)
     sliced_s, sfull_s, spmm_div, num_rows = \
-        _bench_spmm_rows(dtdg, commits, maintainer, config)
+        _bench_spmm_rows(dtdg, commits, maintainer, frontier, config)
+    matrix = _bench_backend_matrix(dtdg, commits, maintainer, frontier,
+                                   config)
     r_inc_s, r_full_s, r_div, refreshes = \
         _bench_serving_refresh(dtdg, config)
 
@@ -256,7 +347,8 @@ def run_kernels_benchmark(config: KernelWorkloadConfig | None = None,
         spmm_rows_s=sliced_s, spmm_full_s=sfull_s,
         spmm_divergence=spmm_div, num_sliced_rows=num_rows,
         refresh_inc_s=r_inc_s, refresh_full_s=r_full_s,
-        refresh_divergence=r_div, num_refreshes=refreshes)
+        refresh_divergence=r_div, num_refreshes=refreshes,
+        backend_matrix=matrix)
 
     if report_name:
         steps = len(commits)
@@ -285,7 +377,21 @@ def run_kernels_benchmark(config: KernelWorkloadConfig | None = None,
             rows,
             title=(f"Kernel layer: AML-Sim N={config.num_accounts}, "
                    f"nnz(Ã)≈{nnz}, avg delta {avg_delta:.0f} edges/step"))
-        write_report(report_name, table)
+        kernel_cols = ["spmm", "spmm_rows", "spmm_rows_bwd",
+                       "spmm_patch", "transpose", "maintainer_commit"]
+        matrix_rows = [
+            [name] + [f"{matrix[name][k]['us']:.0f} "
+                      f"({matrix[name][k]['vs_reference']:.2f}x)"
+                      for k in kernel_cols]
+            + [f"{matrix[name]['max_divergence']:.1e}"]
+            for name in matrix]
+        matrix_table = render_table(
+            ["backend"] + [f"{k} µs" for k in kernel_cols] + ["max |div|"],
+            matrix_rows,
+            title=(f"Kernel backends ({num_rows}-row frontier, "
+                   f"F={config.feature_dim}); (ratio) = reference time "
+                   "/ backend time"))
+        write_report(report_name, table + "\n\n" + matrix_table)
         write_bench_json("kernels", {
             "workload": {
                 "num_accounts": config.num_accounts,
@@ -314,5 +420,11 @@ def run_kernels_benchmark(config: KernelWorkloadConfig | None = None,
                 "num_refreshes": refreshes,
                 "max_abs_divergence": r_div,
             },
+            # per-backend entries deliberately avoid the guarded
+            # "speedup" key names: backend availability varies by
+            # machine and the perf guard must not fail on a backend the
+            # runner doesn't have (numba is installed in the CI matrix
+            # job only)
+            "backend_matrix": matrix,
         })
     return result

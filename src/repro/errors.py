@@ -19,6 +19,17 @@ class GradientError(ReproError):
     """Backward pass invoked in an invalid state (e.g. no grad graph)."""
 
 
+class KernelError(ReproError):
+    """Kernel-backend failure: an unknown backend name, or operands
+    pinned to different backends meeting in one kernel call.
+
+    Backends own per-matrix cached state (the transpose cache, compiled
+    kernel handles), so a kernel must run on the backend its sparse
+    operand was constructed with — convert explicitly with
+    :meth:`~repro.tensor.sparse.SparseMatrix.with_backend` instead of
+    overriding per call."""
+
+
 class DeviceOOM(ReproError):
     """A simulated device ran out of memory.
 

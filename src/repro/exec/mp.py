@@ -288,7 +288,8 @@ class MultiprocessBackend:
                           num_shards=boot.num_shards, k_hops=boot.k_hops,
                           link_head=boot.link_head,
                           fraud_head=boot.fraud_head,
-                          replica_id=boot.replica_id)
+                          replica_id=boot.replica_id,
+                          kernel_backend=boot.kernel_backend)
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(target=_worker_main,
                                  args=(child_conn, lite, manifest),

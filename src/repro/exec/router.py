@@ -195,6 +195,7 @@ class ExecRouter(QueryFrontend):
                  fault_plan: FaultPlan | None = None,
                  max_staleness: int | None = None,
                  telemetry: Telemetry | None = None,
+                 kernel_backend: str | None = None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         if plan is None:
             if num_shards is None:
@@ -227,6 +228,10 @@ class ExecRouter(QueryFrontend):
         self._retry_policy = retry
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown_s = breaker_cooldown_s
+        # the sparse-kernel backend workers run on (`backend` above is
+        # the *transport* backend — distinct seams, distinct names).
+        # Shipped by name so each worker process resolves it at boot.
+        self.kernel_backend = kernel_backend
         # degraded serving: per shard, (boundary embedding rows for the
         # shard's block, counters.advances at capture time)
         self._stale_cache: dict[int, tuple[np.ndarray, int]] = {}
@@ -266,7 +271,8 @@ class ExecRouter(QueryFrontend):
                                   num_shards=plan.num_shards,
                                   k_hops=self.k_hops, link_head=link_head,
                                   fraud_head=fraud_head, features=features,
-                                  dinv=dinv, replica_id=r)
+                                  dinv=dinv, replica_id=r,
+                                  kernel_backend=kernel_backend)
                 transport = self.backend.spawn(boot, clock=self.clock)
                 # RPCs carry the router's trace context once tracing is on
                 transport.tracer = self.telemetry.tracer
@@ -963,7 +969,8 @@ class ExecRouter(QueryFrontend):
                           snapshot=resident, owner=self.plan.owner,
                           num_shards=self.num_shards, k_hops=self.k_hops,
                           link_head=self.link_head,
-                          fraud_head=self.fraud_head)
+                          fraud_head=self.fraud_head,
+                          kernel_backend=self.kernel_backend)
         # solo: the revived worker folds deltas into a private mirror —
         # it must not rebuild a shared substrate to its older resident
         transport = self.backend.spawn(boot, solo=True, clock=self.clock)

@@ -101,7 +101,8 @@ class WorkerService:
             boot.shard_id, 0, boot.model, boot.snapshot, boot.block,
             link_head=boot.link_head, fraud_head=boot.fraud_head,
             k_hops=boot.k_hops, features=self._features, dinv=self._dinv,
-            maintainer=maintainer, clock=clock)
+            maintainer=maintainer, kernel_backend=boot.kernel_backend,
+            clock=clock)
         # backend hook run after every op that (re)writes embeddings —
         # the mp backend uses it to keep the shared-memory embedding
         # block bound to the engine's output array

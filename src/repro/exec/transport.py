@@ -78,6 +78,11 @@ class WorkerBoot:
     # primary); only telemetry naming depends on it — replicas are
     # numerically identical by construction
     replica_id: int = 0
+    # kernel backend *name* (a string pickles; compiled handles do
+    # not) — the worker process resolves it locally at boot, falling
+    # back to reference with a warning if the backend is unavailable
+    # there.  None applies the worker-side selection precedence.
+    kernel_backend: str | None = None
 
     @property
     def block(self) -> np.ndarray:

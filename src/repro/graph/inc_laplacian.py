@@ -46,6 +46,7 @@ import scipy.sparse as sp
 from repro.errors import DatasetError
 from repro.graph.diff import SnapshotDiff
 from repro.graph.snapshot import GraphSnapshot
+from repro.tensor.backend import KernelBackend, resolve_backend
 from repro.tensor.sparse import SparseMatrix
 
 __all__ = ["LaplacianMaintainer", "diff_touched_vertices"]
@@ -123,6 +124,11 @@ class LaplacianMaintainer:
     ----------
     snapshot:
         The initial resident graph; ``Ã_0`` is built in full once.
+    backend:
+        Kernel backend (name or instance) the maintainer's
+        degree/splice/rescale primitives — and every matrix it installs
+        or exports — run on; ``None`` applies the selection precedence
+        (``REPRO_KERNEL_BACKEND`` env, then ``reference``).
 
     Notes
     -----
@@ -133,7 +139,9 @@ class LaplacianMaintainer:
     :meth:`export`.
     """
 
-    def __init__(self, snapshot: GraphSnapshot) -> None:
+    def __init__(self, snapshot: GraphSnapshot, *,
+                 backend: str | KernelBackend | None = None) -> None:
+        self.backend = resolve_backend(backend)
         self.updates = 0
         self.incremental_updates = 0
         self.full_rebuilds = 0
@@ -168,7 +176,8 @@ class LaplacianMaintainer:
         """An independent copy of the current ``Ã`` (frozen arrays)."""
         return SparseMatrix(self._csr(self._data.copy(),
                                       self._cols.copy(),
-                                      self._indptr.copy()))
+                                      self._indptr.copy()),
+                            backend=self.backend)
 
     # -- construction helpers --------------------------------------------------------
     def _csr(self, data, indices, indptr) -> sp.csr_matrix:
@@ -188,7 +197,8 @@ class LaplacianMaintainer:
         """(Re)point the live view at the current arrays."""
         if self._lap is None:
             self._lap = SparseMatrix(self._csr(self._data, self._cols,
-                                               self._indptr))
+                                               self._indptr),
+                                     backend=self.backend)
         else:
             csr = self._lap.csr
             csr.data = self._data
@@ -203,10 +213,11 @@ class LaplacianMaintainer:
         """Build ``Ã`` from scratch (initial install and fallback)."""
         n = snapshot.num_vertices
         edges = snapshot.edges
+        kb = self.backend
         self._n = n
-        self._row_nnz = np.bincount(edges[:, 0], minlength=n) \
+        self._row_nnz = kb.degree_counts(edges[:, 0], n) \
             if len(edges) else np.zeros(n, dtype=np.int64)
-        self._col_nnz = np.bincount(edges[:, 1], minlength=n) \
+        self._col_nnz = kb.degree_counts(edges[:, 1], n) \
             if len(edges) else np.zeros(n, dtype=np.int64)
         self._neighbors = np.maximum(self._row_nnz, self._col_nnz)
         self._dinv = 1.0 / np.sqrt(1.0 + self._neighbors)
@@ -238,7 +249,7 @@ class LaplacianMaintainer:
             self._w = np.ones(n, dtype=np.float64)
         rows = self._keys // n
         self._cols = self._keys - rows * n
-        self._row_counts = np.bincount(rows, minlength=n)
+        self._row_counts = kb.degree_counts(rows, n)
         self._rebuild_indptr()
         self._data = (self._w * self._dinv[rows]) * self._dinv[self._cols]
         self._snapshot = snapshot
@@ -375,12 +386,13 @@ class LaplacianMaintainer:
             curr, diff, rm_keys, ad_keys, ad_order)
 
         # -- 1. degree deltas: touched endpoints only ---------------------------
+        kb = self.backend
         if len(removed):
-            self._row_nnz -= np.bincount(removed[:, 0], minlength=n)
-            self._col_nnz -= np.bincount(removed[:, 1], minlength=n)
+            self._row_nnz -= kb.degree_counts(removed[:, 0], n)
+            self._col_nnz -= kb.degree_counts(removed[:, 1], n)
         if len(added):
-            self._row_nnz += np.bincount(added[:, 0], minlength=n)
-            self._col_nnz += np.bincount(added[:, 1], minlength=n)
+            self._row_nnz += kb.degree_counts(added[:, 0], n)
+            self._col_nnz += kb.degree_counts(added[:, 1], n)
         neighbors = np.maximum(self._row_nnz, self._col_nnz)
         deg_changed = neighbors != self._neighbors
         self._neighbors = neighbors
@@ -408,18 +420,14 @@ class LaplacianMaintainer:
         structural = bool(len(rm_off_keys) or len(ad_off_keys))
         new_pos = _EMPTY_I
         if structural:
-            keep = None
             if len(rm_off_keys):
                 pos = np.searchsorted(keys, rm_off_keys)
                 if not (keys[np.minimum(pos, len(keys) - 1)]
                         == rm_off_keys).all():
                     raise _Inconsistent
-                keep = np.ones(len(keys), dtype=bool)
-                keep[pos] = False
-                self._row_counts -= np.bincount(
-                    rm_off_keys // n, minlength=n)
-                keys, w, data, cols = (keys[keep], w[keep], data[keep],
-                                       cols[keep])
+                self._row_counts -= kb.degree_counts(rm_off_keys // n, n)
+                keys, w, data, cols = kb.splice_delete(
+                    (keys, w, data, cols), pos)
             if len(ad_off_keys):
                 ins = np.searchsorted(keys, ad_off_keys)
                 present = ins < len(keys)
@@ -428,22 +436,14 @@ class LaplacianMaintainer:
                          == ad_off_keys[present]).any():
                     raise _Inconsistent
                 ad_rows = ad_off_keys // n
-                self._row_counts += np.bincount(ad_rows, minlength=n)
-                k = len(ad_off_keys)
-                new_pos = ins + np.arange(k, dtype=np.int64)
-                mask = np.ones(len(keys) + k, dtype=bool)
-                mask[new_pos] = False
+                self._row_counts += kb.degree_counts(ad_rows, n)
                 ad_off_vals = ad_vals[~ad_d] if ad_d is not None \
                     else _EMPTY_F
-                merged = []
-                for a, extra in ((keys, ad_off_keys), (w, ad_off_vals),
-                                 (data, np.zeros(k)),
-                                 (cols, ad_off_keys - ad_rows * n)):
-                    out = np.empty(len(a) + k, dtype=a.dtype)
-                    out[mask] = a
-                    out[new_pos] = extra
-                    merged.append(out)
-                keys, w, data, cols = merged
+                (keys, w, data, cols), new_pos = kb.splice_insert(
+                    (keys, w, data, cols), ins,
+                    (ad_off_keys, ad_off_vals,
+                     np.zeros(len(ad_off_keys)),
+                     ad_off_keys - ad_rows * n))
             self._keys, self._w, self._data, self._cols = \
                 keys, w, data, cols
             self._rebuild_indptr()
@@ -492,13 +492,7 @@ class LaplacianMaintainer:
         if pieces:
             pos = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
             if len(pos):
-                # duplicates are harmless: every write recomputes the
-                # same exact expression of the full build,
-                # (w · dinv_u) · dinv_v
-                pos_rows = np.searchsorted(self._indptr, pos,
-                                           side="right") - 1
-                data[pos] = (w[pos] * self._dinv[pos_rows]) \
-                    * self._dinv[cols[pos]]
+                kb.rescale(data, w, cols, self._indptr, pos, self._dinv)
 
         # -- 6. commit the resident edge bookkeeping ----------------------------
         self._edge_count = curr.num_edges

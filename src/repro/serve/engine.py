@@ -42,9 +42,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, KernelError
 from repro.graph.diff import SnapshotDiff
 from repro.graph.inc_laplacian import LaplacianMaintainer
+from repro.tensor.backend import KernelBackend, resolve_backend
 from repro.graph.snapshot import GraphSnapshot
 from repro.models.base import DynamicGNN
 from repro.models.cdgcn import CDGCN
@@ -107,6 +108,12 @@ class InferenceEngine:
     k_hops:
         Invalidation radius; defaults to ``model.num_layers`` (the
         minimum that keeps incremental inference exact).
+    kernel_backend:
+        Kernel backend (name or instance) the engine's SpMM calls run
+        on.  ``None`` adopts the injected ``maintainer``'s backend, or
+        applies the selection precedence (``REPRO_KERNEL_BACKEND`` env,
+        then ``reference``).  Injecting a maintainer pinned to a
+        *different* backend raises :class:`~repro.errors.KernelError`.
     """
 
     def __init__(self, model: DynamicGNN, snapshot: GraphSnapshot,
@@ -115,7 +122,8 @@ class InferenceEngine:
                  dinv: np.ndarray | None = None,
                  cache_max_rows: int | None = None,
                  maintainer: LaplacianMaintainer | None = None,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 kernel_backend: str | KernelBackend | None = None) -> None:
         if model.in_features != 2:
             raise ConfigError(
                 "serving computes in/out-degree features from the event "
@@ -138,6 +146,16 @@ class InferenceEngine:
         # hold one operator copy — update() short-circuits when the
         # resident is already current, so redundant calls are free
         self._maintainer = maintainer
+        if kernel_backend is None and maintainer is not None:
+            self.kernel_backend = maintainer.backend
+        else:
+            self.kernel_backend = resolve_backend(kernel_backend)
+        if maintainer is not None and \
+                maintainer.backend is not self.kernel_backend:
+            raise KernelError(
+                f"engine kernel_backend={self.kernel_backend.name!r} but "
+                f"the injected maintainer is pinned to "
+                f"{maintainer.backend.name!r}")
         # temporal state that is not per-vertex
         self._weight_state: list[tuple[np.ndarray, np.ndarray]] = []
         self._current_weights: list[np.ndarray] = []
@@ -233,6 +251,11 @@ class InferenceEngine:
                 "cannot adopt a shared maintainer whose resident differs "
                 "from this engine's — recover/rebuild through a common "
                 "snapshot before injecting")
+        if maintainer.backend is not self.kernel_backend:
+            raise KernelError(
+                f"cannot adopt a maintainer pinned to backend "
+                f"{maintainer.backend.name!r} into an engine running "
+                f"{self.kernel_backend.name!r}")
         self._maintainer = maintainer
 
     def set_snapshot(self, snapshot: GraphSnapshot,
@@ -261,7 +284,8 @@ class InferenceEngine:
         with self.telemetry.trace("serve.maintainer",
                                   incremental=diff is not None):
             if self._maintainer is None:
-                self._maintainer = LaplacianMaintainer(snapshot)
+                self._maintainer = LaplacianMaintainer(
+                    snapshot, backend=self.kernel_backend)
             else:
                 self._maintainer.update(snapshot, diff)
         # degree features follow the graph (``dinv`` is accepted so a
@@ -359,14 +383,15 @@ class InferenceEngine:
 
         ``rows=None`` runs the full SpMM through the maintained
         operator; otherwise only the requested output rows are computed
-        by the row-sliced kernel (:meth:`SparseMatrix.row_slice`),
-        which is bit-identical to the corresponding rows of the full
-        product.
+        by the backend's fused gather-then-GEMM kernel, which is
+        bit-identical to the corresponding rows of the full product.
         """
         lap = self._maintainer.laplacian
+        kb = self.kernel_backend
         if rows is None:
-            return lap.csr @ x
-        return lap.row_slice(rows) @ x
+            return kb.spmm(lap.csr, x)
+        out, _ = kb.spmm_rows(lap.csr, rows, x)
+        return out
 
     def _layer_rows(self, idx: int,
                     rows: np.ndarray | None) -> np.ndarray | None:

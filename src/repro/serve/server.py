@@ -408,6 +408,10 @@ class ModelServer(QueryFrontend):
     incremental:
         ``False`` recomputes every row on each refresh — the full
         recompute baseline the serving benchmark compares against.
+    kernel_backend:
+        Kernel backend (name or instance) the engine's sparse kernels
+        run on; ``None`` applies the selection precedence
+        (``REPRO_KERNEL_BACKEND`` env, then ``reference``).
     clock:
         Seconds-returning callable (default ``time.perf_counter``).
     """
@@ -421,13 +425,15 @@ class ModelServer(QueryFrontend):
                  incremental: bool = True,
                  cache_max_rows: int | None = None,
                  telemetry: Telemetry | None = None,
+                 kernel_backend=None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         self._init_frontend(max_batch_size, flush_latency_ms, clock,
                             telemetry)
         self.model = model
         self.engine = InferenceEngine(model, snapshot, k_hops=k_hops,
                                       cache_max_rows=cache_max_rows,
-                                      telemetry=self.telemetry)
+                                      telemetry=self.telemetry,
+                                      kernel_backend=kernel_backend)
         self.ingestor = StreamIngestor(snapshot)
         self.link_head = link_head
         self.fraud_head = fraud_head

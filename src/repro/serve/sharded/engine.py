@@ -60,11 +60,12 @@ class ShardEngine(InferenceEngine):
                  block: np.ndarray, k_hops: int | None = None, *,
                  features: np.ndarray | None = None,
                  dinv: np.ndarray | None = None,
-                 maintainer=None) -> None:
+                 maintainer=None, kernel_backend=None) -> None:
         self._block = np.asarray(block, dtype=np.int64)
         self._dist: np.ndarray | None = None
         super().__init__(model, snapshot, k_hops, features=features,
-                         dinv=dinv, maintainer=maintainer)
+                         dinv=dinv, maintainer=maintainer,
+                         kernel_backend=kernel_backend)
 
     # -- halo geometry ---------------------------------------------------------------
     @property

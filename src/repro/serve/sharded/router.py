@@ -151,6 +151,7 @@ class ShardedServer(QueryFrontend):
                  rebalance_skew: float | None = None,
                  rebalance_min_queries: int = 256,
                  telemetry: Telemetry | None = None,
+                 kernel_backend=None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         if plan is None:
             if num_shards is None:
@@ -181,7 +182,9 @@ class ShardedServer(QueryFrontend):
         # the same maintained operator (their own update() calls
         # short-circuit on the already-current resident) — topology is
         # shared simulation substrate, like features/dinv below
-        self.maintainer = LaplacianMaintainer(snapshot)
+        self.maintainer = LaplacianMaintainer(snapshot,
+                                              backend=kernel_backend)
+        self.kernel_backend = self.maintainer.backend
         self.shards = self._build_shards(plan, snapshot)
         self._advance()  # prime embeddings for the initial snapshot
 
@@ -198,6 +201,7 @@ class ShardedServer(QueryFrontend):
                             fraud_head=self.fraud_head,
                             k_hops=self.k_hops, features=features,
                             dinv=dinv, maintainer=self.maintainer,
+                            kernel_backend=self.kernel_backend,
                             clock=self.clock)
                 for r in range(self.replicas)]))
         return sets

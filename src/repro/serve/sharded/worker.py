@@ -46,13 +46,14 @@ class ShardWorker:
                  k_hops: int | None = None,
                  features: np.ndarray | None = None,
                  dinv: np.ndarray | None = None,
-                 maintainer=None,
+                 maintainer=None, kernel_backend=None,
                  clock: Callable[[], float] = time.perf_counter) -> None:
         self.shard_id = shard_id
         self.replica_id = replica_id
         self.engine = ShardEngine(model, snapshot, block, k_hops=k_hops,
                                   features=features, dinv=dinv,
-                                  maintainer=maintainer)
+                                  maintainer=maintainer,
+                                  kernel_backend=kernel_backend)
         self.link_head = link_head
         self.fraud_head = fraud_head
         self.clock = clock

@@ -5,11 +5,15 @@ Public surface::
     from repro.tensor import Tensor, no_grad, ops, functional as F
     from repro.tensor import Parameter, Module, SGD, Adam
     from repro.tensor.sparse import SparseMatrix, spmm, spmm_rows
+    from repro.tensor.backend import get_backend, available_backends
 """
 
 from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 from repro.tensor.module import Module, Parameter
 from repro.tensor.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.tensor.backend import (KernelBackend, available_backends,
+                                  get_backend, registered_backends,
+                                  resolve_backend)
 from repro.tensor.sparse import SparseMatrix, spmm, spmm_rows
 from repro.tensor import ops, functional, init
 
@@ -18,5 +22,7 @@ __all__ = [
     "Module", "Parameter",
     "SGD", "Adam", "Optimizer", "clip_grad_norm",
     "SparseMatrix", "spmm", "spmm_rows",
+    "KernelBackend", "get_backend", "resolve_backend",
+    "available_backends", "registered_backends",
     "ops", "functional", "init",
 ]

@@ -1,0 +1,144 @@
+"""The kernel surface every sparse backend implements.
+
+Every hot path of the reproduction — serving refresh, maintainer
+splice, training reuse, exec-tier advance — bottoms out in the handful
+of CSR kernels named here.  :class:`KernelBackend` is that surface made
+explicit: implement it and register the class with
+:func:`repro.tensor.backend.register_backend`, and every tier
+(``SparseMatrix``, ``LaplacianMaintainer``, the serving engines, both
+trainers, exec-tier workers) can run on your kernels, selected by name.
+
+Conformance contract
+--------------------
+A backend declares, via :attr:`exact`, which kernels it guarantees to
+be **bit-identical** (``array_equal``) to the ``reference`` backend.
+Everything else must agree within 1e-12 elementwise.  Exactness is the
+codebase's load-bearing invariant — the serve/sharded/exec/train suites
+all assert divergence 0.0 against full-recompute oracles — so the
+accelerated backends keep the reference per-element accumulation order
+(sum over a CSR row's entries in index order) rather than reassociating.
+
+The structural and maintainer primitives (:meth:`transpose`,
+:meth:`splice_delete`, :meth:`splice_insert`, :meth:`degree_counts`,
+:meth:`rescale`) are exact in *every* backend by construction: they
+permute, copy, or recompute entries with the identical floating-point
+expression; no reassociation is possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["KernelBackend", "KERNEL_NAMES"]
+
+# the kernel names `exact` declarations and the conformance suite use
+KERNEL_NAMES = ("spmm", "spmm_rows", "spmm_rows_t", "transpose",
+                "row_slice", "degree_counts", "splice_delete",
+                "splice_insert", "rescale")
+
+
+class KernelBackend:
+    """Abstract sparse-kernel backend (CSR on float64 data).
+
+    Methods take raw ``scipy.sparse.csr_matrix`` / ``numpy.ndarray``
+    operands — backends sit *below* the autograd tape and the
+    :class:`~repro.tensor.sparse.SparseMatrix` wrapper, which own
+    shape checking, caching and gradient routing.
+    """
+
+    #: registry key; subclasses must override
+    name = "abstract"
+
+    #: kernels guaranteed bit-identical to the reference backend
+    exact: frozenset = frozenset()
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend's dependencies are importable/usable in
+        the current process.  Called before instantiation; an
+        unavailable backend falls back to ``reference`` with a single
+        warning instead of failing."""
+        return True
+
+    def __reduce__(self):
+        # backends may hold process-local handles (JIT caches, dlopened
+        # shared objects); pickling ships only the name and the
+        # receiving process re-resolves it locally — exec-tier workers
+        # pick their kernel backend at fork time
+        from repro.tensor.backend import get_backend
+        return (get_backend, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelBackend {self.name!r}>"
+
+    # -- SpMM family -------------------------------------------------------------
+    def spmm(self, csr: sp.csr_matrix, x: np.ndarray) -> np.ndarray:
+        """Full product ``S @ X`` → ``(n_rows, F)``."""
+        raise NotImplementedError
+
+    def spmm_rows(self, csr: sp.csr_matrix, rows: np.ndarray,
+                  x: np.ndarray) -> tuple[np.ndarray, object]:
+        """Fused gather-then-GEMM: ``(S @ X)[rows]`` without the caller
+        materializing the row submatrix.
+
+        Returns ``(out, ctx)`` where ``ctx`` is backend-private state
+        the matching :meth:`spmm_rows_t` call may reuse (the reference
+        backend stashes the sliced CSR so backward does not re-slice;
+        fused backends return ``None``).
+        """
+        raise NotImplementedError
+
+    def spmm_rows_t(self, csr: sp.csr_matrix, rows: np.ndarray,
+                    g: np.ndarray, ctx: object = None) -> np.ndarray:
+        """Backward of the row-sliced product: ``S[rows, :].T @ G`` —
+        the scatter of upstream gradient rows through the sliced
+        operator, shape ``(n_cols, F)``."""
+        raise NotImplementedError
+
+    # -- structure ---------------------------------------------------------------
+    def transpose(self, csr: sp.csr_matrix) -> sp.csr_matrix:
+        """Materialize the CSR transpose (canonical: sorted,
+        duplicate-free).  Canonical CSR is unique, so every backend
+        returns bit-identical arrays."""
+        raise NotImplementedError
+
+    def row_slice(self, csr: sp.csr_matrix, rows: np.ndarray
+                  ) -> sp.csr_matrix:
+        """CSR submatrix of ``rows`` (in order, duplicates allowed),
+        preserving each row's entry order."""
+        raise NotImplementedError
+
+    # -- maintainer primitives ---------------------------------------------------
+    # the LaplacianMaintainer's degree/splice/rescale hot path, kept
+    # behind the same seam so an accelerated backend can fuse them
+    def degree_counts(self, vertices: np.ndarray, n: int) -> np.ndarray:
+        """Occurrence counts of ``vertices`` over ``range(n)`` (the
+        degree-delta bincount)."""
+        raise NotImplementedError
+
+    def splice_delete(self, arrays: tuple[np.ndarray, ...],
+                      pos: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Delete positions ``pos`` (sorted, unique) from each parallel
+        array — the maintainer's structural-removal splice."""
+        raise NotImplementedError
+
+    def splice_insert(self, arrays: tuple[np.ndarray, ...],
+                      ins: np.ndarray,
+                      extras: tuple[np.ndarray, ...]
+                      ) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
+        """Insert ``extras[i]`` into ``arrays[i]`` at pre-insertion
+        offsets ``ins`` (sorted ``searchsorted`` results).  Returns the
+        spliced arrays plus the post-insertion positions of the new
+        entries — one shared-mask splice, no re-sort."""
+        raise NotImplementedError
+
+    def rescale(self, data: np.ndarray, w: np.ndarray, cols: np.ndarray,
+                indptr: np.ndarray, pos: np.ndarray,
+                dinv: np.ndarray) -> None:
+        """Recompute ``data[pos] = (w[pos] · dinv[row(pos)]) ·
+        dinv[cols[pos]]`` in place — the maintainer's targeted
+        normalization rescale, with rows derived from ``indptr``.
+        Must use exactly this expression (two multiplies, this order)
+        for bit-compatibility with the full rebuild."""
+        raise NotImplementedError

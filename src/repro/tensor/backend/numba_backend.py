@@ -1,0 +1,154 @@
+"""The ``numba`` backend: JIT-compiled CSR row kernels.
+
+The scipy SpMM path pays per-call overhead that dominates the frontier
+workloads this codebase actually runs — ``spmm_rows`` over a dirty
+frontier of ~1-5% of the rows, where the row gather (``csr[rows]``)
+allocates a submatrix bigger than the multiply it feeds.  The jitted
+kernels fuse gather-then-GEMM into one pass over the selected rows'
+entries, with **the reference accumulation order preserved**: the
+k-outer / feature-inner loop accumulates each output element over the
+row's CSR entries in index order, exactly as scipy's ``csr_matvecs``
+does, so ``spmm`` and ``spmm_rows`` are declared bit-exact.  No
+``fastmath`` — LLVM must not contract ``v * x + acc`` into an FMA or
+reassociate the sum, either of which would break ``array_equal``
+against the reference backend.
+
+numba is an *optional* dependency: when it is not importable,
+:meth:`NumbaBackend.available` returns ``False`` and the registry falls
+back to ``reference`` with a single warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.backend.base import KERNEL_NAMES
+from repro.tensor.backend.reference import ReferenceBackend
+
+__all__ = ["NumbaBackend"]
+
+try:  # pragma: no cover - exercised via the CI kernel-backend-matrix job
+    import numba as _numba
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default container path
+    _numba = None
+    _HAVE_NUMBA = False
+
+_KERNELS = None
+
+
+def _compile_kernels():
+    """Define and njit the CSR kernels (lazily, once per process).
+
+    Laziness matters twice over: import of this module must stay cheap
+    and must succeed without numba, and the jit itself (a few hundred
+    ms) should only be paid by processes that select this backend.
+    """
+    global _KERNELS
+    if _KERNELS is not None:
+        return _KERNELS
+    njit = _numba.njit
+
+    @njit(fastmath=False)
+    def _spmm(indptr, indices, data, x, out):
+        f = x.shape[1]
+        for i in range(out.shape[0]):
+            for j in range(f):
+                out[i, j] = 0.0
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                c = indices[k]
+                for j in range(f):
+                    out[i, j] += v * x[c, j]
+
+    @njit(fastmath=False)
+    def _spmm_rows(indptr, indices, data, rows, x, out):
+        f = x.shape[1]
+        for p in range(rows.shape[0]):
+            i = rows[p]
+            for j in range(f):
+                out[p, j] = 0.0
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                c = indices[k]
+                for j in range(f):
+                    out[p, j] += v * x[c, j]
+
+    @njit(fastmath=False)
+    def _spmm_rows_t(indptr, indices, data, rows, g, out):
+        # scatter: out[c] accumulates contributions from every selected
+        # row containing column c; out arrives zeroed
+        f = g.shape[1]
+        for p in range(rows.shape[0]):
+            i = rows[p]
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                c = indices[k]
+                for j in range(f):
+                    out[c, j] += v * g[p, j]
+
+    @njit(fastmath=False)
+    def _rescale(data, w, cols, indptr, pos, dinv):
+        # same two-multiply expression as the reference, with the row
+        # of each position found by binary search over indptr
+        n = indptr.shape[0] - 1
+        for t in range(pos.shape[0]):
+            p = pos[t]
+            lo = 0
+            hi = n
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if indptr[mid + 1] <= p:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            data[p] = (w[p] * dinv[lo]) * dinv[cols[p]]
+
+    _KERNELS = {"spmm": _spmm, "spmm_rows": _spmm_rows,
+                "spmm_rows_t": _spmm_rows_t, "rescale": _rescale}
+    return _KERNELS
+
+
+class NumbaBackend(ReferenceBackend):
+    """Jitted CSR kernels; structure/splice primitives inherited from
+    the reference backend (already vectorized numpy, nothing to win)."""
+
+    name = "numba"
+    # the forward kernels preserve the reference accumulation order and
+    # are asserted array_equal by the conformance suite; the backward
+    # scatter is only guaranteed to 1e-12
+    exact = frozenset(KERNEL_NAMES) - {"spmm_rows_t"}
+
+    @classmethod
+    def available(cls) -> bool:
+        return _HAVE_NUMBA
+
+    def __init__(self) -> None:
+        self._k = _compile_kernels()
+
+    def spmm(self, csr, x):
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        out = np.empty((csr.shape[0], x.shape[1]), dtype=np.float64)
+        self._k["spmm"](csr.indptr, csr.indices, csr.data, x, out)
+        return out
+
+    def spmm_rows(self, csr, rows, x):
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        out = np.empty((len(rows), x.shape[1]), dtype=np.float64)
+        self._k["spmm_rows"](csr.indptr, csr.indices, csr.data, rows,
+                             x, out)
+        return out, None  # fused: no sliced submatrix to stash
+
+    def spmm_rows_t(self, csr, rows, g, ctx=None):
+        g = np.ascontiguousarray(g, dtype=np.float64)
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        out = np.zeros((csr.shape[1], g.shape[1]), dtype=np.float64)
+        self._k["spmm_rows_t"](csr.indptr, csr.indices, csr.data, rows,
+                               g, out)
+        return out
+
+    def rescale(self, data, w, cols, indptr, pos, dinv):
+        self._k["rescale"](data, w, cols, indptr,
+                           np.ascontiguousarray(pos, dtype=np.int64),
+                           dinv)

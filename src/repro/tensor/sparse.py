@@ -10,6 +10,14 @@ Gradients are therefore needed only with respect to the dense operand:
 exposes the byte accounting needed by the CPU→GPU transfer model (index
 bytes vs value bytes are tracked separately because the graph-difference
 technique of paper §3.2 saves *index* bytes only).
+
+The kernels themselves (SpMM, fused row-sliced SpMM, transpose
+materialization, row slicing) run on a pluggable
+:class:`~repro.tensor.backend.KernelBackend`.  A matrix is pinned to
+one backend at construction (kwarg > ``REPRO_KERNEL_BACKEND`` env >
+``reference``); passing a *different* explicit ``backend=`` to a kernel
+raises :class:`~repro.errors.KernelError` — convert with
+:meth:`SparseMatrix.with_backend` instead.
 """
 
 from __future__ import annotations
@@ -17,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import ShapeError
+from repro.errors import KernelError, ShapeError
+from repro.tensor.backend import KernelBackend, get_backend, resolve_backend
 from repro.tensor.tensor import Tensor, as_tensor
 
 __all__ = ["SparseMatrix", "spmm", "spmm_rows", "spmm_memo", "spmm_patch"]
@@ -43,20 +52,32 @@ class SparseMatrix:
     ----------
     matrix:
         Any scipy sparse matrix (converted to CSR) or a dense ndarray.
+    backend:
+        Kernel backend name or instance; ``None`` applies the selection
+        precedence (env var, then default), except when copying another
+        ``SparseMatrix``, whose backend is adopted.
     """
 
-    __slots__ = ("csr", "_csr_t", "_transpose_builds")
+    __slots__ = ("csr", "_csr_t", "_transpose_builds", "backend")
 
-    def __init__(self, matrix) -> None:
+    def __init__(self, matrix, backend: str | KernelBackend | None = None
+                 ) -> None:
         self._csr_t = None
         self._transpose_builds = 0
         if isinstance(matrix, SparseMatrix):
             self.csr = matrix.csr
             self._csr_t = matrix._csr_t  # share the transpose cache
+            # the cache and its build count travel together — a copy
+            # that inherits a built transpose inherits the build
+            self._transpose_builds = matrix._transpose_builds
+            self.backend = resolve_backend(backend) \
+                if backend is not None else matrix.backend
         elif sp.issparse(matrix):
             self.csr = matrix.tocsr()
+            self.backend = resolve_backend(backend)
         else:
             self.csr = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+            self.backend = resolve_backend(backend)
         self.csr.sum_duplicates()
 
     # -- structure -------------------------------------------------------------
@@ -72,6 +93,11 @@ class SparseMatrix:
     def dtype(self):
         return self.csr.dtype
 
+    def with_backend(self, backend: str | KernelBackend) -> "SparseMatrix":
+        """This matrix pinned to another backend (CSR arrays and the
+        transpose cache are shared, not copied)."""
+        return SparseMatrix(self, backend=backend)
+
     def transposed_csr(self) -> sp.csr_matrix:
         """The CSR transpose, built lazily and cached.
 
@@ -81,17 +107,18 @@ class SparseMatrix:
         matrix instead of per call.
         """
         if self._csr_t is None:
-            self._csr_t = self.csr.T.tocsr()
+            self._csr_t = self.backend.transpose(self.csr)
             self._transpose_builds += 1
         return self._csr_t
 
     @property
     def transpose_builds(self) -> int:
-        """How many times this matrix materialized its transpose."""
+        """How many times this matrix (or the matrix it was copied
+        from) materialized its transpose."""
         return self._transpose_builds
 
     def transpose(self) -> "SparseMatrix":
-        t = SparseMatrix(self.transposed_csr())
+        t = SparseMatrix(self.transposed_csr(), backend=self.backend)
         t._csr_t = self.csr  # (Aᵀ)ᵀ is already resident
         return t
 
@@ -109,7 +136,7 @@ class SparseMatrix:
         and the serving tier's dirty-frontier refresh.
         """
         rows = np.asarray(rows, dtype=np.int64)
-        return self.csr[rows]
+        return self.backend.row_slice(self.csr, rows)
 
     def coo_edges(self) -> np.ndarray:
         """Return an (nnz, 2) int64 array of (row, col) indices, sorted."""
@@ -143,14 +170,17 @@ class SparseMatrix:
 
     # -- algebra ----------------------------------------------------------------
     def matmul_dense(self, dense: np.ndarray) -> np.ndarray:
-        return self.csr @ dense
+        return self.backend.spmm(self.csr, dense)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"
+        return (f"SparseMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"backend={self.backend.name!r})")
 
     @staticmethod
     def from_edges(edges: np.ndarray, values: np.ndarray | None,
-                   shape: tuple[int, int]) -> "SparseMatrix":
+                   shape: tuple[int, int],
+                   backend: str | KernelBackend | None = None
+                   ) -> "SparseMatrix":
         """Build from an (nnz, 2) index array and optional values."""
         edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         if values is None:
@@ -158,10 +188,34 @@ class SparseMatrix:
         mat = sp.csr_matrix(
             (np.asarray(values, dtype=np.float64),
              (edges[:, 0], edges[:, 1])), shape=shape)
-        return SparseMatrix(mat)
+        return SparseMatrix(mat, backend=backend)
 
 
-def spmm(sparse: SparseMatrix, dense) -> Tensor:
+def _kernel_backend(sparse: SparseMatrix,
+                    backend: str | KernelBackend | None,
+                    name: str) -> KernelBackend:
+    """The backend a kernel call runs on: the sparse operand's pinned
+    backend, unless an explicit override *agrees* with it.
+
+    Backends own per-matrix cached state (the transpose cache, compiled
+    handles), so a differing explicit ``backend=`` is an error, not a
+    conversion — callers convert with
+    :meth:`SparseMatrix.with_backend`.
+    """
+    if backend is None:
+        return sparse.backend
+    b = backend if isinstance(backend, KernelBackend) \
+        else get_backend(backend)
+    if b is not sparse.backend:
+        raise KernelError(
+            f"{name}: operand is pinned to backend "
+            f"{sparse.backend.name!r} but backend={b.name!r} was "
+            f"requested; use SparseMatrix.with_backend to convert")
+    return b
+
+
+def spmm(sparse: SparseMatrix, dense,
+         backend: str | KernelBackend | None = None) -> Tensor:
     """Differentiable sparse @ dense product (gradient w.r.t. dense only).
 
     The sparse operand is a fixed graph operator; its (lazily cached)
@@ -181,21 +235,23 @@ def spmm(sparse: SparseMatrix, dense) -> Tensor:
     if sparse.shape[1] != dense.shape[0]:
         raise ShapeError(
             f"spmm shape mismatch: {sparse.shape} @ {dense.shape}")
-    out = sparse.csr @ dense.data
+    kb = _kernel_backend(sparse, backend, "spmm")
+    out = kb.spmm(sparse.csr, dense.data)
 
     def backward(g):
         # lazy: the transpose is materialized only if backward runs,
         # and the per-matrix cache makes repeated calls free
-        return (sparse.transposed_csr() @ g,)
+        return (kb.spmm(sparse.transposed_csr(), g),)
 
     return Tensor._make(out, (dense,), backward)
 
 
-def spmm_rows(sparse: SparseMatrix, dense, rows: np.ndarray) -> Tensor:
+def spmm_rows(sparse: SparseMatrix, dense, rows: np.ndarray,
+              backend: str | KernelBackend | None = None) -> Tensor:
     """Row-sliced differentiable SpMM: only ``rows`` of ``S @ X``.
 
-    Computes ``(S @ X)[rows]`` by gathering the requested CSR rows and
-    multiplying just those — O(nnz(rows) · F) instead of O(nnz · F).
+    Computes ``(S @ X)[rows]`` with the backend's fused
+    gather-then-GEMM kernel — O(nnz(rows) · F) instead of O(nnz · F).
     The output rows are bit-identical to the corresponding rows of the
     full product (same per-row accumulation order).  The backward pass
     scatters the upstream gradient through the sliced operator:
@@ -213,11 +269,11 @@ def spmm_rows(sparse: SparseMatrix, dense, rows: np.ndarray) -> Tensor:
     if len(rows) and (rows.min() < 0 or rows.max() >= sparse.shape[0]):
         raise ShapeError(
             f"spmm_rows row index out of range for {sparse.shape[0]} rows")
-    sub = sparse.csr[rows]
-    out = sub @ dense.data
+    kb = _kernel_backend(sparse, backend, "spmm_rows")
+    out, ctx = kb.spmm_rows(sparse.csr, rows, dense.data)
 
     def backward(g):
-        return (sub.T @ g,)
+        return (kb.spmm_rows_t(sparse.csr, rows, g, ctx),)
 
     return Tensor._make(out, (dense,), backward)
 
@@ -232,7 +288,8 @@ def _check_spmm_operands(sparse: SparseMatrix, dense: Tensor,
             f"{name} shape mismatch: {sparse.shape} @ {dense.shape}")
 
 
-def spmm_memo(sparse: SparseMatrix, dense, product: np.ndarray) -> Tensor:
+def spmm_memo(sparse: SparseMatrix, dense, product: np.ndarray,
+              backend: str | KernelBackend | None = None) -> Tensor:
     """``S @ X`` with the forward *values* taken from a memoized product.
 
     ``product`` must be bit-equal to ``sparse.csr @ dense.data`` (the
@@ -244,6 +301,7 @@ def spmm_memo(sparse: SparseMatrix, dense, product: np.ndarray) -> Tensor:
     """
     dense = as_tensor(dense)
     _check_spmm_operands(sparse, dense, "spmm_memo")
+    kb = _kernel_backend(sparse, backend, "spmm_memo")
     product = np.asarray(product)
     if product.shape != (sparse.shape[0], dense.shape[1]):
         raise ShapeError(
@@ -251,19 +309,20 @@ def spmm_memo(sparse: SparseMatrix, dense, product: np.ndarray) -> Tensor:
             f"{(sparse.shape[0], dense.shape[1])}")
 
     def backward(g):
-        return (sparse.transposed_csr() @ g,)
+        return (kb.spmm(sparse.transposed_csr(), g),)
 
     return Tensor._make(product, (dense,), backward)
 
 
 def spmm_patch(sparse: SparseMatrix, dense, rows: np.ndarray,
-               base: np.ndarray, parent: Tensor | None = None) -> Tensor:
+               base: np.ndarray, parent: Tensor | None = None,
+               backend: str | KernelBackend | None = None) -> Tensor:
     """``S @ X`` computed by patching a previous product's rows.
 
     The output equals ``base`` with ``rows`` overwritten by
-    ``(S @ X)[rows]`` (row-sliced, bit-identical to the full product's
-    rows).  The caller guarantees that the untouched rows of ``base``
-    already equal the corresponding rows of ``S @ X`` — the
+    ``(S @ X)[rows]`` (fused row recompute, bit-identical to the full
+    product's rows).  The caller guarantees that the untouched rows of
+    ``base`` already equal the corresponding rows of ``S @ X`` — the
     cross-timestep reuse invariant established by the delta-touched
     frontier expansion.
 
@@ -288,27 +347,29 @@ def spmm_patch(sparse: SparseMatrix, dense, rows: np.ndarray,
         raise ShapeError(
             f"spmm_patch base shape {base.shape} does not match "
             f"{(sparse.shape[0], dense.shape[1])}")
+    kb = _kernel_backend(sparse, backend, "spmm_patch")
     if len(rows) == 0:
         out = base
-        sub = None
+        ctx = None
     else:
-        sub = sparse.csr[rows]
+        patch, ctx = kb.spmm_rows(sparse.csr, rows, dense.data)
         out = base.copy()
-        out[rows] = sub @ dense.data
+        out[rows] = patch
 
     if parent is None:
         def backward(g):
-            if sub is None:
+            if len(rows) == 0:
                 return (np.zeros_like(dense.data),)
-            return (sub.T @ g[rows],)
+            return (kb.spmm_rows_t(sparse.csr, rows, g[rows], ctx),)
 
         return Tensor._make(out, (dense,), backward)
 
     def backward_chain(g):
         g_parent = g.copy()
-        if sub is None:
+        if len(rows) == 0:
             return (np.zeros_like(dense.data), g_parent)
         g_parent[rows] = 0.0
-        return (sub.T @ g[rows], g_parent)
+        return (kb.spmm_rows_t(sparse.csr, rows, g[rows], ctx),
+                g_parent)
 
     return Tensor._make(out, (dense, parent), backward_chain)

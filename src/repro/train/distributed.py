@@ -112,7 +112,8 @@ class DistributedTrainer:
 
     def __init__(self, model: DynamicGNN, dtdg: DTDG, task,
                  cluster: Cluster, config: DistConfig, *,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 kernel_backend=None) -> None:
         self.model = model
         self.task = task
         self.cluster = cluster
@@ -126,8 +127,11 @@ class DistributedTrainer:
         if self.train_t < 1:
             raise ConfigError("no training timesteps")
 
+        # one kernel backend for every operator this trainer multiplies
+        # through (renamed operators included — _setup_vertex reads it)
+        self.kernel_backend = kernel_backend
         self.laplacians, self._lap_diffs = \
-            compute_laplacians_with_diffs(dtdg)
+            compute_laplacians_with_diffs(dtdg, backend=kernel_backend)
         self.frames = [Tensor(f) for f in dtdg.features]
 
         if config.partitioning == "vertex":
@@ -206,7 +210,8 @@ class DistributedTrainer:
                                     snap.values)
             self.renamed_snaps.append(renamed)
         self.renamed_laps = compute_laplacians(
-            DTDG(self.renamed_snaps, name="renamed"))
+            DTDG(self.renamed_snaps, name="renamed"),
+            backend=self.kernel_backend)
         old_of_new = np.argsort(self.vpart.perm)
         self.renamed_frames = [Tensor(f.data[old_of_new])
                                for f in self.frames]

@@ -111,19 +111,21 @@ def smooth_for_model(dtdg: DTDG, model_name: str,
     raise ConfigError(f"unknown model {model_name!r}")
 
 
-def compute_laplacians(dtdg: DTDG) -> list[SparseMatrix]:
+def compute_laplacians(dtdg: DTDG, *,
+                       backend=None) -> list[SparseMatrix]:
     """Normalized Laplacian ``Ã_t`` per snapshot (Eq. 1).
 
     ``Ã_0`` is built in full once; every subsequent operator streams
     through the :class:`~repro.graph.inc_laplacian.LaplacianMaintainer`
     via the timeline's GD deltas (§3.2), touching only the rows and
     columns each transition changed.  The result is bit-compatible
-    with a per-snapshot full rebuild.
+    with a per-snapshot full rebuild.  ``backend`` pins the kernel
+    backend of the maintainer and every exported operator.
     """
-    return compute_laplacians_with_diffs(dtdg)[0]
+    return compute_laplacians_with_diffs(dtdg, backend=backend)[0]
 
 
-def compute_laplacians_with_diffs(dtdg: DTDG):
+def compute_laplacians_with_diffs(dtdg: DTDG, *, backend=None):
     """Per-snapshot ``Ã_t`` plus the GD deltas that produced them.
 
     Returns ``(laplacians, diffs)`` where ``diffs[t - 1]`` encodes the
@@ -136,7 +138,7 @@ def compute_laplacians_with_diffs(dtdg: DTDG):
     if not snapshots:
         return [], []
     first, diffs = encode_sequence(snapshots)
-    maintainer = LaplacianMaintainer(first)
+    maintainer = LaplacianMaintainer(first, backend=backend)
     laplacians = [maintainer.export()]
     for snap, diff in zip(snapshots[1:], diffs):
         maintainer.update(snap, diff)
@@ -150,5 +152,5 @@ def precompute_aggregation(laplacians: list[SparseMatrix],
     once and reuse it every epoch."""
     if len(laplacians) != len(frames):
         raise ConfigError("laplacian/frame count mismatch")
-    return [lap.csr @ np.asarray(frame) for lap, frame in
-            zip(laplacians, frames)]
+    return [lap.backend.spmm(lap.csr, np.asarray(frame)) for lap, frame
+            in zip(laplacians, frames)]

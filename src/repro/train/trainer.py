@@ -76,7 +76,8 @@ class SingleDeviceTrainer:
     def __init__(self, model: DynamicGNN, dtdg: DTDG, task,
                  config: TrainerConfig,
                  device: Device | None = None, *,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 kernel_backend=None) -> None:
         self.model = model
         self.task = task
         self.config = config
@@ -86,7 +87,10 @@ class SingleDeviceTrainer:
         if dtdg.features is None:
             dtdg.set_features(degree_features(dtdg))
         self.dtdg = dtdg
-        self.laplacians, diffs = compute_laplacians_with_diffs(dtdg)
+        # every per-timestep operator is pinned to one kernel backend;
+        # the reuse cache's spmm/memo/patch calls pick it up implicitly
+        self.laplacians, diffs = compute_laplacians_with_diffs(
+            dtdg, backend=kernel_backend)
         self.frames = [Tensor(f) for f in dtdg.features]
         # train on the first T timesteps; the held-out last snapshot is
         # only used by the task's test set (paper §6.4)

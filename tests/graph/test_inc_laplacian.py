@@ -14,6 +14,12 @@ from repro.graph import (GraphSnapshot, LaplacianMaintainer, diff_snapshots,
                          encode_sequence, evolving_dtdg,
                          normalized_laplacian)
 from repro.graph.diff import SnapshotDiff, _checksum
+from tests.helpers import all_backends_fixture
+
+# the maintainer's bit-compatibility contract must hold on every
+# available kernel backend: this module is the conformance suite for
+# the degree/splice/rescale primitives
+kernel_backend = all_backends_fixture()
 
 
 def assert_bitwise(maintainer, snapshot):

@@ -2,11 +2,38 @@
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Sequence
 
 import numpy as np
+import pytest
 
 from repro.tensor import Tensor
+from repro.tensor.backend import available_backends
+
+
+def all_backends_fixture():
+    """A module-scoped autouse fixture that reruns the module once per
+    available kernel backend, selected via ``REPRO_KERNEL_BACKEND`` so
+    every matrix the module builds picks it up without signature
+    changes.  Module scope keeps hypothesis's function-scoped-fixture
+    health check quiet.  Use as::
+
+        kernel_backend = all_backends_fixture()
+    """
+
+    @pytest.fixture(scope="module", autouse=True,
+                    params=available_backends())
+    def kernel_backend(request):
+        old = os.environ.get("REPRO_KERNEL_BACKEND")
+        os.environ["REPRO_KERNEL_BACKEND"] = request.param
+        yield request.param
+        if old is None:
+            os.environ.pop("REPRO_KERNEL_BACKEND", None)
+        else:
+            os.environ["REPRO_KERNEL_BACKEND"] = old
+
+    return kernel_backend
 
 
 def numeric_grad(fn: Callable[[], Tensor], tensor: Tensor,

@@ -1,0 +1,171 @@
+"""Kernel-backend registry: selection precedence, fallback, pickling,
+and the torch-device-like mismatch semantics."""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import KernelError
+from repro.graph.inc_laplacian import LaplacianMaintainer
+from repro.graph.snapshot import GraphSnapshot
+from repro.models import build_model
+from repro.serve import InferenceEngine
+from repro.tensor import Tensor
+from repro.tensor import backend as backend_mod
+from repro.tensor.backend import (available_backends, get_backend,
+                                  register_backend, registered_backends,
+                                  resolve_backend)
+from repro.tensor.backend.reference import ReferenceBackend
+from repro.tensor.sparse import SparseMatrix, spmm
+
+
+@pytest.fixture(autouse=True)
+def _no_env_backend(monkeypatch):
+    """These tests pin backends explicitly; a leaked env selection
+    would silently change what `default` means."""
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+
+
+@pytest.fixture
+def mirror():
+    """A second always-available backend, distinct from reference's
+    singleton — lets the mismatch tests run on machines where no
+    accelerated backend compiles."""
+    class MirrorBackend(ReferenceBackend):
+        name = "mirror"
+
+    register_backend(MirrorBackend)
+    yield get_backend("mirror")
+    backend_mod._REGISTRY.pop("mirror", None)
+    backend_mod._INSTANCES.pop("mirror", None)
+
+
+def _random_sparse(n=6, seed=0, backend=None):
+    csr = sp.random(n, n, density=0.4, random_state=seed,
+                    dtype=np.float64).tocsr()
+    return SparseMatrix(csr, backend=backend)
+
+
+def _small_snapshot():
+    edges = np.array([[0, 1], [1, 2], [2, 0], [3, 1], [2, 3]],
+                     dtype=np.int64)
+    return GraphSnapshot(4, edges)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"reference", "numba", "cnative"} <= set(registered_backends())
+
+    def test_reference_always_available(self):
+        assert "reference" in available_backends()
+
+    def test_singleton_and_instance_passthrough(self):
+        ref = get_backend("reference")
+        assert get_backend("reference") is ref
+        assert get_backend(None) is ref
+        assert get_backend(ref) is ref
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KernelError, match="unknown kernel backend"):
+            get_backend("definitely-not-a-backend")
+        with pytest.raises(KernelError):
+            _random_sparse(backend="definitely-not-a-backend")
+
+    def test_register_rejects_abstract_name(self):
+        from repro.tensor.backend.base import KernelBackend
+        with pytest.raises(KernelError):
+            register_backend(KernelBackend)
+
+    def test_pickle_ships_only_the_name(self):
+        for name in available_backends():
+            kb = get_backend(name)
+            assert pickle.loads(pickle.dumps(kb)) is kb
+
+
+class TestPrecedence:
+    def test_default_is_reference(self):
+        assert resolve_backend() is get_backend("reference")
+
+    def test_env_beats_default(self, monkeypatch, mirror):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "mirror")
+        assert resolve_backend() is mirror
+        assert _random_sparse().backend is mirror
+
+    def test_kwarg_beats_env(self, monkeypatch, mirror):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "mirror")
+        ref = get_backend("reference")
+        assert resolve_backend("reference") is ref
+        assert resolve_backend(ref) is ref
+        assert _random_sparse(backend="reference").backend is ref
+
+
+class TestFallback:
+    def test_unavailable_backend_warns_once_then_reference(self,
+                                                           monkeypatch):
+        # simulate `import numba` failing regardless of what this
+        # machine has installed (satellite: graceful degradation)
+        from repro.tensor.backend import numba_backend
+        monkeypatch.setattr(numba_backend, "_HAVE_NUMBA", False)
+        backend_mod._reset_for_tests()
+        try:
+            with pytest.warns(RuntimeWarning, match="'numba' is unavailable"):
+                got = get_backend("numba")
+            assert got is get_backend("reference")
+            # second resolution: cached under the requested name, silent
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert get_backend("numba") is got
+            # and the fallback instance still runs the kernel surface
+            csr = sp.random(5, 5, density=0.5, random_state=1,
+                            dtype=np.float64).tocsr()
+            x = np.ones((5, 3))
+            np.testing.assert_array_equal(got.spmm(csr, x), csr @ x)
+        finally:
+            backend_mod._reset_for_tests()
+
+
+class TestMismatch:
+    def test_spmm_kwarg_mismatch_raises(self, mirror):
+        s = _random_sparse(backend="reference")
+        x = Tensor(np.ones((6, 2)))
+        with pytest.raises(KernelError, match="mirror"):
+            spmm(s, x, backend="mirror")
+        # matching explicit kwarg is fine
+        spmm(s, x, backend="reference")
+
+    def test_with_backend_converts_and_shares_structure(self, mirror):
+        s = _random_sparse(backend="reference")
+        s.transposed_csr()  # populate the shared transpose cache
+        s2 = s.with_backend("mirror")
+        assert s2.backend is mirror
+        assert s2.csr is s.csr
+        assert s2.transpose_builds == 1  # cache travelled with the copy
+        out = spmm(s2, Tensor(np.ones((6, 2))), backend="mirror")
+        np.testing.assert_array_equal(out.data, s.csr @ np.ones((6, 2)))
+
+    def test_engine_adopts_injected_maintainer_backend(self, mirror):
+        snap = _small_snapshot()
+        model = build_model("cdgcn", in_features=2, seed=0)
+        maintainer = LaplacianMaintainer(snap, backend="mirror")
+        engine = InferenceEngine(model, snap, maintainer=maintainer)
+        assert engine.kernel_backend is mirror
+
+    def test_engine_maintainer_mismatch_raises(self, mirror):
+        snap = _small_snapshot()
+        model = build_model("cdgcn", in_features=2, seed=0)
+        maintainer = LaplacianMaintainer(snap, backend="reference")
+        with pytest.raises(KernelError, match="pinned"):
+            InferenceEngine(model, snap, maintainer=maintainer,
+                            kernel_backend="mirror")
+
+    def test_adopt_maintainer_mismatch_raises(self, mirror):
+        snap = _small_snapshot()
+        model = build_model("cdgcn", in_features=2, seed=0)
+        engine = InferenceEngine(model, snap,
+                                 kernel_backend="reference")
+        with pytest.raises(KernelError, match="adopt"):
+            engine.adopt_maintainer(
+                LaplacianMaintainer(snap, backend="mirror"))

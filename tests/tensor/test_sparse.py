@@ -9,7 +9,10 @@ from repro.errors import ShapeError
 from repro.tensor import Tensor
 from repro.tensor.sparse import (INDEX_BYTES, VALUE_BYTES, SparseMatrix,
                                  spmm, spmm_rows)
-from tests.helpers import check_gradients
+from tests.helpers import all_backends_fixture, check_gradients
+
+# every test in this module runs once per available kernel backend
+kernel_backend = all_backends_fixture()
 
 
 def random_sparse(n, m, density=0.3, seed=0):
@@ -161,7 +164,16 @@ class TestCachedTranspose:
         s.transposed_csr()
         s2 = SparseMatrix(s)
         assert s2.transposed_csr() is s.transposed_csr()
+        # the build count travels with the cache: a copy that inherits
+        # a built transpose reports that build instead of undercounting
+        assert s2.transpose_builds == 1
+
+    def test_wrap_carries_build_count_before_build(self):
+        s = random_sparse(4, 4, seed=5)
+        s2 = SparseMatrix(s)  # nothing built yet
         assert s2.transpose_builds == 0
+        s2.transposed_csr()
+        assert s2.transpose_builds == 1
 
 
 class TestSpmmRows:
